@@ -1,0 +1,91 @@
+(* prudence-repro: command-line driver for the paper reproduction. *)
+
+let list_experiments () =
+  Format.printf "experiments:@.";
+  List.iter
+    (fun (e : Core.Experiments.experiment) ->
+      Format.printf "  %-12s %-14s %s@." e.Core.Experiments.id
+        e.Core.Experiments.paper_ref e.Core.Experiments.title)
+    Core.Experiments.all;
+  Format.printf
+    "  %-12s %-14s aliases: run the apps experiment@." "fig7..fig13"
+    "Figs. 7-13";
+  0
+
+let params scale seed cpus runs =
+  { Core.Experiments.scale; seed; cpus; runs }
+
+let run_experiment ids p =
+  let ids = if ids = [] then [ "all" ] else ids in
+  let experiments =
+    if ids = [ "all" ] then Core.Experiments.all
+    else
+      List.map
+        (fun id ->
+          match Core.Experiments.find id with
+          | Some e -> e
+          | None ->
+              Format.eprintf "unknown experiment %S (try `list`)@." id;
+              exit 2)
+        ids
+  in
+  (* Dedupe (fig7..fig13 all alias apps). *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Core.Experiments.experiment) ->
+      if not (Hashtbl.mem seen e.Core.Experiments.id) then begin
+        Hashtbl.add seen e.Core.Experiments.id ();
+        Format.printf "running %s (%s)...@.@." e.Core.Experiments.id
+          e.Core.Experiments.paper_ref;
+        let reports = e.Core.Experiments.run p in
+        Core.Metrics.Report.print_all Format.std_formatter reports
+      end)
+    experiments;
+  0
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Workload scale factor (1.0 = EXPERIMENTS.md defaults)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic simulation seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let cpus_arg =
+  let doc = "Simulated CPUs (the paper's machine had 64 logical CPUs)." in
+  Arg.(value & opt int 8 & info [ "cpus" ] ~docv:"N" ~doc)
+
+let runs_arg =
+  let doc = "Repetitions for mean +/- stdev (paper: 3)." in
+  Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc)
+
+let params_term = Term.(const params $ scale_arg $ seed_arg $ cpus_arg $ runs_arg)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments")
+    Term.(const list_experiments $ const ())
+
+let run_cmd =
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiment ids (fig3, costs, fig6, apps, ablations, \
+                fig7..fig13) or 'all'.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run experiments and print their reports")
+    Term.(const run_experiment $ ids $ params_term)
+
+let main_cmd =
+  let doc =
+    "Reproduction of 'Prudent Memory Reclamation in Procrastination-Based \
+     Synchronization' (ASPLOS 2016)"
+  in
+  Cmd.group
+    (Cmd.info "prudence-repro" ~version:Core.version ~doc)
+    [ list_cmd; run_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

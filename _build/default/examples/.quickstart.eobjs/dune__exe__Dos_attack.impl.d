@@ -1,0 +1,1 @@
+examples/dos_attack.ml: Format Mem Rcu Sim Slab Workloads

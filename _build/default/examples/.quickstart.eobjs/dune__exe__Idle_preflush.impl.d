@@ -1,0 +1,1 @@
+examples/idle_preflush.ml: Format List Prudence Sim Slab Workloads

@@ -1,0 +1,1 @@
+examples/idle_preflush.mli:

@@ -1,0 +1,1 @@
+examples/routing_table.ml: Format List Rcu Rcudata Sim Slab Workloads

@@ -1,0 +1,1 @@
+lib/core/core.ml: Experiments Mem Metrics Prudence Rcu Rcudata Sim Slab Workloads

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Float List Metrics Option Printf Prudence Rcu Rcudata Sim Slab String Workloads

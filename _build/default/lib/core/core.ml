@@ -1,0 +1,18 @@
+(** Public facade of the Prudence reproduction.
+
+    Re-exports every layer plus the {!Experiments} registry that
+    regenerates each table/figure of the paper. Open nothing; use
+    qualified paths ([Core.Experiments.run_fig6], [Core.Prudence.alloc],
+    ...). *)
+
+module Sim = Sim
+module Mem = Mem
+module Rcu = Rcu
+module Slab = Slab
+module Prudence = Prudence
+module Rcudata = Rcudata
+module Workloads = Workloads
+module Metrics = Metrics
+module Experiments = Experiments
+
+let version = "1.0.0"

@@ -1,0 +1,1 @@
+lib/mem/pressure.ml: Buddy Format List

@@ -1,0 +1,1 @@
+lib/mem/pressure.mli: Buddy Format

@@ -1,0 +1,156 @@
+type block = { page : int; order : int }
+
+exception Out_of_memory
+
+type t = {
+  page_size : int;
+  total_pages : int;
+  max_order : int;
+  (* free.(o) maps start-page -> unit for each free block of order o *)
+  free : (int, unit) Hashtbl.t array;
+  (* allocated start-page -> order, to validate frees *)
+  allocated : (int, int) Hashtbl.t;
+  mutable used : int;
+  mutable peak_used : int;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable failures : int;
+}
+
+let create ?(page_size = 4096) ?(max_order = 10) ~total_pages () =
+  if total_pages <= 0 then invalid_arg "Buddy.create: total_pages";
+  if max_order < 0 || max_order > 30 then invalid_arg "Buddy.create: max_order";
+  let t =
+    {
+      page_size;
+      total_pages;
+      max_order;
+      free = Array.init (max_order + 1) (fun _ -> Hashtbl.create 64);
+      allocated = Hashtbl.create 256;
+      used = 0;
+      peak_used = 0;
+      allocs = 0;
+      frees = 0;
+      failures = 0;
+    }
+  in
+  (* Seed the free lists: greedily carve the page range into the largest
+     aligned power-of-two blocks that fit. *)
+  let page = ref 0 in
+  while !page < total_pages do
+    let order = ref max_order in
+    while
+      !order > 0
+      && (!page land ((1 lsl !order) - 1) <> 0
+         || !page + (1 lsl !order) > total_pages)
+    do
+      decr order
+    done;
+    Hashtbl.replace t.free.(!order) !page ();
+    page := !page + (1 lsl !order)
+  done;
+  t
+
+let page_size t = t.page_size
+let total_pages t = t.total_pages
+let used_pages t = t.used
+let free_pages t = t.total_pages - t.used
+let used_bytes t = t.used * t.page_size
+let peak_used_pages t = t.peak_used
+let alloc_count t = t.allocs
+let free_count t = t.frees
+let failed_allocs t = t.failures
+
+let largest_free_order t =
+  let rec scan o = if o < 0 then -1 else if Hashtbl.length t.free.(o) > 0 then o else scan (o - 1) in
+  scan t.max_order
+
+let take_any tbl =
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun k () ->
+         found := Some k;
+         raise Exit)
+       tbl
+   with Exit -> ());
+  match !found with
+  | None -> None
+  | Some k ->
+      Hashtbl.remove tbl k;
+      Some k
+
+let alloc t ~order =
+  if order < 0 || order > t.max_order then
+    invalid_arg "Buddy.alloc: order out of range";
+  (* Find the smallest order >= requested with a free block. *)
+  let rec find o =
+    if o > t.max_order then None
+    else
+      match take_any t.free.(o) with
+      | Some page -> Some (page, o)
+      | None -> find (o + 1)
+  in
+  match find order with
+  | None ->
+      t.failures <- t.failures + 1;
+      None
+  | Some (page, found_order) ->
+      (* Split down to the requested order, freeing the upper halves. *)
+      let o = ref found_order in
+      while !o > order do
+        decr o;
+        Hashtbl.replace t.free.(!o) (page + (1 lsl !o)) ()
+      done;
+      Hashtbl.replace t.allocated page order;
+      t.used <- t.used + (1 lsl order);
+      if t.used > t.peak_used then t.peak_used <- t.used;
+      t.allocs <- t.allocs + 1;
+      Some { page; order }
+
+let alloc_exn t ~order =
+  match alloc t ~order with Some b -> b | None -> raise Out_of_memory
+
+let free t { page; order } =
+  (match Hashtbl.find_opt t.allocated page with
+  | Some o when o = order -> Hashtbl.remove t.allocated page
+  | Some o ->
+      invalid_arg
+        (Printf.sprintf "Buddy.free: block at page %d has order %d, not %d"
+           page o order)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Buddy.free: page %d is not an allocated block" page));
+  t.used <- t.used - (1 lsl order);
+  t.frees <- t.frees + 1;
+  (* Coalesce with the buddy while it is free. *)
+  let rec coalesce page order =
+    if order >= t.max_order then Hashtbl.replace t.free.(order) page ()
+    else begin
+      let buddy = page lxor (1 lsl order) in
+      if buddy + (1 lsl order) <= t.total_pages && Hashtbl.mem t.free.(order) buddy
+      then begin
+        Hashtbl.remove t.free.(order) buddy;
+        coalesce (min page buddy) (order + 1)
+      end
+      else Hashtbl.replace t.free.(order) page ()
+    end
+  in
+  coalesce page order
+
+let check_invariants t =
+  let free_total = ref 0 in
+  Array.iteri
+    (fun order tbl ->
+      Hashtbl.iter
+        (fun page () ->
+          assert (page land ((1 lsl order) - 1) = 0);
+          assert (page + (1 lsl order) <= t.total_pages);
+          free_total := !free_total + (1 lsl order))
+        tbl)
+    t.free;
+  let alloc_total =
+    Hashtbl.fold (fun _ order acc -> acc + (1 lsl order)) t.allocated 0
+  in
+  assert (alloc_total = t.used);
+  assert (!free_total + t.used = t.total_pages)

@@ -1,0 +1,53 @@
+(** Binary buddy page allocator.
+
+    Stands in for the Linux page allocator underneath the slab layer: slab
+    caches grow by allocating [2^order] contiguous pages and shrink by
+    returning them. The allocator tracks used/free pages so the simulation
+    can sample "total used memory" (paper Fig. 3) and detect out-of-memory.
+
+    Pages are identified by index; no real memory is allocated. Double frees
+    and frees of never-allocated blocks are detected and raise. *)
+
+type t
+
+type block = private { page : int; order : int }
+(** An allocated run of [2^order] contiguous pages starting at [page]. *)
+
+exception Out_of_memory
+(** Raised by {!alloc_exn} when the request cannot be satisfied. *)
+
+val create : ?page_size:int -> ?max_order:int -> total_pages:int -> unit -> t
+(** [create ~total_pages ()] builds an allocator over [total_pages] pages of
+    [page_size] bytes (default 4096) with largest block order [max_order]
+    (default 10, i.e. 4 MiB blocks). *)
+
+val alloc : t -> order:int -> block option
+(** [alloc t ~order] allocates [2^order] contiguous pages, splitting larger
+    blocks as needed; [None] if no block of sufficient order is free. *)
+
+val alloc_exn : t -> order:int -> block
+(** Like {!alloc} but raises {!Out_of_memory} on failure. *)
+
+val free : t -> block -> unit
+(** Return a block; coalesces with its buddy recursively. Raises
+    [Invalid_argument] on double free or foreign blocks. *)
+
+val page_size : t -> int
+val total_pages : t -> int
+val used_pages : t -> int
+val free_pages : t -> int
+val used_bytes : t -> int
+val peak_used_pages : t -> int
+
+val alloc_count : t -> int
+(** Successful allocations so far. *)
+
+val free_count : t -> int
+val failed_allocs : t -> int
+
+val largest_free_order : t -> int
+(** Largest order with a free block, or -1 if memory is exhausted. *)
+
+val check_invariants : t -> unit
+(** Asserts internal consistency: used + free page counts add up, free lists
+    contain properly aligned disjoint blocks. For tests. *)

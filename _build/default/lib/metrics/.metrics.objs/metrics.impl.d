@@ -1,0 +1,1 @@
+lib/metrics/metrics.ml: Ascii_chart Report Table

@@ -1,0 +1,1 @@
+lib/metrics/report.ml: Format List String

@@ -1,0 +1,13 @@
+(** Minimal ASCII line chart, used to print the Fig. 3 memory-over-time
+    traces in the bench output. *)
+
+val line :
+  ?width:int ->
+  ?height:int ->
+  series:(string * (int * float) array) list ->
+  unit ->
+  string
+(** [line ~series ()] plots each named series over a shared time axis
+    (x = sample time in seconds, y = value). Each series is drawn with its
+    own glyph; a legend and y-axis labels are included. Series may have
+    different lengths/time ranges. *)

@@ -1,0 +1,5 @@
+(** Facade: result tables, ASCII charts and experiment reports. *)
+
+module Table = Table
+module Ascii_chart = Ascii_chart
+module Report = Report

@@ -1,0 +1,20 @@
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  body : string;
+  verdict : string;
+}
+
+let make ~id ~title ~paper_claim ~verdict body =
+  { id; title; paper_claim; body; verdict }
+
+let print fmt r =
+  let bar = String.make 78 '=' in
+  Format.fprintf fmt "%s@.[%s] %s@.%s@." bar (String.uppercase_ascii r.id)
+    r.title bar;
+  Format.fprintf fmt "paper:    %s@." r.paper_claim;
+  Format.fprintf fmt "@.%s@." r.body;
+  Format.fprintf fmt "@.measured: %s@.@." r.verdict
+
+let print_all fmt rs = List.iter (print fmt) rs

@@ -1,0 +1,19 @@
+(** Experiment reports: what the paper said, what we measured. *)
+
+type t = {
+  id : string;  (** "fig3", "fig6", ... *)
+  title : string;
+  paper_claim : string;
+      (** The result as stated in the paper (the shape to match). *)
+  body : string;  (** Rendered table / chart / prose for this run. *)
+  verdict : string;  (** One-line measured summary for EXPERIMENTS.md. *)
+}
+
+val make :
+  id:string -> title:string -> paper_claim:string -> verdict:string ->
+  string -> t
+
+val print : Format.formatter -> t -> unit
+(** Banner + claim + body + verdict. *)
+
+val print_all : Format.formatter -> t list -> unit

@@ -1,0 +1,56 @@
+type align = L | R
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | L -> s ^ String.make (width - n) ' '
+    | R -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | _ -> List.mapi (fun i _ -> if i = 0 then L else R) header
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
+         cells)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let fmt_f ?(dec = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" dec v
+
+let fmt_i v =
+  let s = string_of_int (abs v) in
+  let n = String.length s in
+  let buf = Buffer.create (n + (n / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if v < 0 then "-" else "") ^ Buffer.contents buf
+
+let fmt_pct ?(dec = 1) v =
+  if Float.is_nan v then "-"
+  else Printf.sprintf "%s%.*f%%" (if v >= 0.0 then "+" else "") dec v

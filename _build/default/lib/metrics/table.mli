@@ -1,0 +1,19 @@
+(** ASCII table rendering for benchmark reports. *)
+
+type align = L | R
+
+val render :
+  ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with a separator under the
+    header. Column widths fit the widest cell; [align] defaults to left for
+    the first column and right for the rest. Rows shorter than the header
+    are padded with empty cells. *)
+
+val fmt_f : ?dec:int -> float -> string
+(** Format a float with [dec] decimals (default 2); NaN renders as "-". *)
+
+val fmt_i : int -> string
+(** Format an int with thousands separators (1234567 -> "1,234,567"). *)
+
+val fmt_pct : ?dec:int -> float -> string
+(** Format as a signed percentage ("+12.3%" / "-4.0%"). *)

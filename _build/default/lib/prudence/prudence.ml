@@ -1,0 +1,383 @@
+module Frame = Slab.Frame
+module Costs = Slab.Costs
+module Stats = Slab.Slab_stats
+
+type config = {
+  scan_depth : int;
+  preflush_enabled : bool;
+  preflush_chunk : int;
+  preflush_interval_ns : int;
+  latent_cap : int option;
+  wait_on_oom : bool;
+  unsafe_skip_gp : bool;
+}
+
+let default_config =
+  {
+    scan_depth = 10;
+    preflush_enabled = true;
+    preflush_chunk = 8;
+    preflush_interval_ns = 5_000;
+    latent_cap = None;
+    wait_on_oom = true;
+    unsafe_skip_gp = false;
+  }
+
+type t = {
+  env : Frame.env;
+  rcu : Rcu.t;
+  cfg : config;
+  mutable caches : (string * Frame.cache) list;
+}
+
+let env t = t.env
+let rcu t = t.rcu
+let config t = t.cfg
+
+(* The grace-period horizon used for ripeness tests. The fault-injection
+   mode pretends everything is ripe immediately. *)
+let completed t = if t.cfg.unsafe_skip_gp then max_int else Rcu.completed t.rcu
+
+let charge (cpu : Sim.Machine.cpu) ns = Sim.Machine.consume cpu ns
+
+let latent_outstanding t =
+  List.fold_left (fun acc (_, c) -> acc + Frame.latent_total c) 0 t.caches
+
+(* Harvest ripe latent objects from the slabs the selector is about to
+   examine, so their free counts reflect completed grace periods. *)
+let refresh_node_heads t cache node =
+  let horizon = completed t in
+  let refresh slab =
+    if slab.Frame.latent_n > 0 then begin
+      if Frame.slab_harvest_ripe slab ~completed:horizon > 0 then
+        ignore (Frame.relocate cache slab)
+    end
+  in
+  (* The node's latent-slab list is ordered oldest-first, so the slabs most
+     likely to have ripe objects are at the front. *)
+  List.iter refresh (Sim.Dlist.first_n node.Frame.latent_slabs t.cfg.scan_depth)
+
+let select t cache node =
+  refresh_node_heads t cache node;
+  Frame.select_prudence ~scan_depth:t.cfg.scan_depth node
+
+(* Algorithm 1 MERGE_CACHES (l.60-65): move grace-period-complete objects
+   from the latent cache into the object cache, stopping at capacity. *)
+let merge_caches t (cache : Frame.cache) (pc : Frame.pcpu) =
+  let horizon = completed t in
+  let moved = ref 0 in
+  let continue = ref true in
+  while !continue && pc.Frame.ocache_n < cache.Frame.ocache_cap do
+    match Frame.latent_cache_pop_ripe cache pc ~completed:horizon with
+    | Some obj ->
+        Frame.push_ocache cache pc obj;
+        incr moved
+    | None -> continue := false
+  done;
+  if !moved > 0 then begin
+    Stats.merge cache.Frame.stats ~n:!moved;
+    charge pc.Frame.cpu
+      (t.env.Frame.costs.Costs.merge
+      + (!moved * t.env.Frame.costs.Costs.merge_per_obj))
+  end;
+  !moved
+
+(* Move one latent-cache object to its slab's latent list, pre-moving the
+   slab if its future state changed (Algorithm 1 l.49-51). Returns the cost
+   to charge (the caller decides whether it runs on workload or idle time). *)
+let demote_to_latent_slab t (cache : Frame.cache) (pc : Frame.pcpu) obj =
+  Frame.obj_to_latent_slab cache obj;
+  let slab = obj.Frame.parent in
+  let costs = t.env.Frame.costs in
+  let cost = ref costs.Costs.latent_put in
+  (* Pre-movement needs the node-list lock only when the list changes. *)
+  if Frame.relocate cache slab then begin
+    Stats.premove cache.Frame.stats;
+    let node = cache.Frame.nodes.(slab.Frame.node_id) in
+    let delay =
+      Sim.Simlock.acquire node.Frame.lock
+        ~now:(Sim.Engine.now (Sim.Machine.engine t.env.Frame.machine))
+        ~hold:costs.Costs.node_lock_hold
+    in
+    cost := !cost + delay + costs.Costs.premove;
+    (* Pre-moving onto the free list can push the node over its free-slab
+       threshold (Algorithm 1 l.59). *)
+    if
+      slab.Frame.on_list = Frame.L_free
+      && Sim.Dlist.length node.Frame.free_slabs > Slab.Size_class.min_free_slabs
+    then ignore (Frame.shrink_node cache pc.Frame.cpu node)
+  end;
+  ignore pc;
+  !cost
+
+(* Idle-time pre-flush (§4.2 "latent cache pre-flush"). Runs as idle work:
+   costs are not charged to the workload, but lock holds still occupy the
+   node lock. *)
+let rec preflush_pass t (cache : Frame.cache) (pc : Frame.pcpu) =
+  Frame.set_preflush_scheduled pc false;
+  let excess () =
+    pc.Frame.ocache_n + Sim.Deque.length pc.Frame.latent
+    - cache.Frame.ocache_cap
+  in
+  (* Merge ripe latent objects proactively while idle — §4.2: doing it here
+     "avoids the merging of deferred objects ... during an allocation
+     request" (the next allocations become plain hits). *)
+  ignore (merge_caches t cache pc);
+  if excess () > 0 then begin
+    let aggressive = pc.Frame.recent_allocs < pc.Frame.recent_releases in
+    let budget = if aggressive then max_int else t.cfg.preflush_chunk in
+    let moved = ref 0 in
+    while excess () > 0 && !moved < budget do
+      match Frame.latent_cache_pop_newest cache pc with
+      | Some obj ->
+          ignore (demote_to_latent_slab t cache pc obj);
+          incr moved
+      | None ->
+          (* Only object-cache overflow remains; leave it to the flush
+             path. *)
+          ignore (Frame.flush_to_node cache pc.Frame.cpu
+                    ~count:(max 0 (excess ())));
+          ()
+    done;
+    if !moved > 0 then Stats.preflush_pass cache.Frame.stats ~n:!moved;
+    (* If work remains and the CPU is still idle, continue in a later
+       chunk; otherwise re-arm for the next idle window. *)
+    if excess () > 0 then schedule_preflush_delayed t cache pc
+  end
+
+and schedule_preflush_delayed t cache pc =
+  if not pc.Frame.preflush_scheduled then begin
+    Frame.set_preflush_scheduled pc true;
+    ignore
+      (Sim.Engine.schedule
+         (Sim.Machine.engine t.env.Frame.machine)
+         ~after:t.cfg.preflush_interval_ns
+         (fun () ->
+           if Sim.Machine.is_idle pc.Frame.cpu then preflush_pass t cache pc
+           else begin
+             (* The idle window closed: wait for the next one. *)
+             Frame.set_preflush_scheduled pc false;
+             schedule_preflush t cache pc
+           end))
+  end
+
+and schedule_preflush t cache (pc : Frame.pcpu) =
+  if t.cfg.preflush_enabled && not pc.Frame.preflush_scheduled then begin
+    Frame.set_preflush_scheduled pc true;
+    Sim.Machine.submit_idle t.env.Frame.machine pc.Frame.cpu (fun () ->
+        preflush_pass t cache pc)
+  end
+
+(* Algorithm 1 MALLOC (l.1-12) + REFILL_OBJECT_CACHE (l.13-33). *)
+let rec alloc t ?(may_wait = true) (cache : Frame.cache) cpu =
+  let costs = t.env.Frame.costs in
+  let pc = Frame.pcpu_for cache cpu in
+  Stats.alloc cache.Frame.stats;
+  Frame.note_alloc pc;
+  charge cpu costs.Costs.hit;
+  match Frame.pop_ocache pc with
+  | Some obj ->
+      Stats.hit cache.Frame.stats;
+      Frame.hand_to_user cache cpu obj;
+      Some obj
+  | None -> alloc_slow t ~may_wait cache cpu pc
+
+and alloc_slow t ~may_wait (cache : Frame.cache) cpu (pc : Frame.pcpu) =
+  (* l.8-11: merge ripe latent objects and retry. A request satisfied
+     after the merge is still served from the object cache (no node-list
+     traffic), so it counts as a hit, as in Fig. 7. *)
+  ignore (merge_caches t cache pc);
+  match Frame.pop_ocache pc with
+  | Some obj ->
+      Stats.hit cache.Frame.stats;
+      Frame.hand_to_user cache cpu obj;
+      Some obj
+  | None -> (
+      Stats.miss cache.Frame.stats;
+      (* l.13-25: partial refill, leaving room for the latent objects that
+         will merge after the grace period. The paper subtracts the whole
+         latent count; we subtract only the ripe prefix (the merge is
+         capacity-capped, and unripe objects cannot merge before the next
+         grace period, by which time the cache has drained again), which
+         keeps refills batched under a full latent cache. *)
+      let horizon = completed t in
+      let ripe = ref 0 in
+      Sim.Deque.iter
+        (fun (o : Frame.objekt) ->
+          if o.Frame.gp_cookie <= horizon then incr ripe)
+        pc.Frame.latent;
+      let want =
+        max 1 (min cache.Frame.batch (cache.Frame.ocache_cap - !ripe))
+      in
+      let got =
+        Frame.refill_from_node cache cpu ~want ~select:(select t cache)
+      in
+      let got =
+        if got > 0 then got
+        else
+          (* l.29: add more slabs. *)
+          match Frame.grow cache cpu with
+          | Some _slab ->
+              Frame.refill_from_node cache cpu ~want ~select:(select t cache)
+          | None ->
+              (* Cannot grow: relax the slab-selection filter (a mostly
+                 deferred slab is better than failing). *)
+              Frame.refill_from_node cache cpu ~want ~select:Frame.select_slub
+      in
+      match (got, Frame.pop_ocache pc) with
+      | _, Some obj ->
+          Frame.hand_to_user cache cpu obj;
+          Some obj
+      | _, None ->
+          (* l.31-33: delay OOM if deferred objects will become free. *)
+          if may_wait && t.cfg.wait_on_oom && latent_outstanding t > 0 then begin
+            Stats.oom_delayed cache.Frame.stats;
+            Rcu.request_gp t.rcu;
+            Rcu.synchronize t.rcu;
+            alloc t ~may_wait:false cache cpu
+          end
+          else None)
+
+(* Algorithm 1 FREE_DEFERRED (l.34-51). *)
+let free_deferred t (cache : Frame.cache) cpu obj =
+  let costs = t.env.Frame.costs in
+  let pc = Frame.pcpu_for cache cpu in
+  Stats.deferred_free cache.Frame.stats;
+  Frame.note_release pc;
+  (* l.35: capture the grace-period state. *)
+  let cookie = Rcu.snapshot t.rcu in
+  Frame.stamp_deferred cache obj ~cookie;
+  Rcu.request_gp t.rcu;
+  charge cpu costs.Costs.defer_enqueue;
+  let latent_n = Sim.Deque.length pc.Frame.latent in
+  if latent_n < cache.Frame.latent_cap then begin
+    (* l.39-44: fast path. The idle pass is armed whenever latent objects
+       exist: it pre-flushes if an overflow is foreseen and pre-merges
+       ripe objects either way. *)
+    Frame.obj_to_latent_cache cache pc obj;
+    charge cpu costs.Costs.latent_put;
+    schedule_preflush t cache pc
+  end
+  else begin
+    (* l.45-51: flush the object cache, merge, retry; overflow goes to the
+       latent slab with slab pre-movement. *)
+    if pc.Frame.ocache_n > 0 then
+      Frame.flush_to_node cache cpu
+        ~count:(pc.Frame.ocache_n - (cache.Frame.ocache_cap / 2));
+    ignore (merge_caches t cache pc);
+    if Sim.Deque.length pc.Frame.latent < cache.Frame.latent_cap then begin
+      Frame.obj_to_latent_cache cache pc obj;
+      charge cpu costs.Costs.latent_put
+    end
+    else begin
+      Stats.latent_overflow cache.Frame.stats;
+      charge cpu (demote_to_latent_slab t cache pc obj)
+    end
+  end
+
+(* Regular free: like the baseline, but the overflow flush accounts for the
+   latent objects that will need object-cache room after the grace period
+   (§4.2 "object cache flush"). *)
+let free t (cache : Frame.cache) cpu obj =
+  let costs = t.env.Frame.costs in
+  let pc = Frame.pcpu_for cache cpu in
+  Stats.free cache.Frame.stats;
+  Frame.note_release pc;
+  Frame.release_from_user cache obj;
+  charge cpu costs.Costs.free_to_cache;
+  Frame.push_ocache cache pc obj;
+  if pc.Frame.ocache_n > cache.Frame.ocache_cap then begin
+    let latent_n = Sim.Deque.length pc.Frame.latent in
+    let keep = max 0 ((cache.Frame.ocache_cap / 2) - latent_n) in
+    Frame.flush_to_node cache cpu ~count:(pc.Frame.ocache_n - keep)
+  end
+
+let create_cache t ~name ~obj_size =
+  match List.assoc_opt name t.caches with
+  | Some c -> c
+  | None ->
+      let c =
+        Frame.create_cache t.env ~name ~obj_size ~latent_aware:true
+          ?latent_cap:t.cfg.latent_cap ()
+      in
+      (* Hints about the future (§3.6): outstanding deferred objects plus
+         the recent per-grace-period allocation volume are allocations
+         waiting to happen, so keep that many objects' worth of free slabs
+         per node instead of returning pages that would be re-requested
+         within a grace period. *)
+      Frame.set_free_target c (fun () ->
+          let recent_demand =
+            Array.fold_left
+              (fun acc (pc : Frame.pcpu) -> acc + pc.Frame.recent_allocs)
+              0 c.Frame.pcpus
+          in
+          (* The decayed counter holds ~8x one grace period's allocations;
+             keep ~2 grace periods' worth of free slabs. *)
+          let demand_objs = (recent_demand / 4) + (2 * Frame.latent_total c) in
+          demand_objs
+          / (c.Frame.objs_per_slab
+            * Array.length c.Frame.nodes));
+      t.caches <- (name, c) :: t.caches;
+      c
+
+(* Recycle every outstanding deferred object; requires process context. *)
+let settle t =
+  let rec loop budget =
+    if budget = 0 then failwith "Prudence.settle: latent objects failed to drain";
+    if latent_outstanding t > 0 then begin
+      Rcu.synchronize t.rcu;
+      let horizon = completed t in
+      List.iter
+        (fun (_, cache) ->
+          Array.iter
+            (fun (pc : Frame.pcpu) ->
+              (* Everything ripe now: push latent-cache objects down to
+                 their slabs and harvest. *)
+              let rec drain () =
+                match Frame.latent_cache_pop_ripe cache pc ~completed:horizon with
+                | Some obj ->
+                    ignore (demote_to_latent_slab t cache pc obj);
+                    drain ()
+                | None -> ()
+              in
+              drain ())
+            cache.Frame.pcpus;
+          Array.iter
+            (fun (node : Frame.node) ->
+              let refresh slab =
+                if slab.Frame.latent_n > 0 then begin
+                  ignore (Frame.slab_harvest_ripe slab ~completed:horizon);
+                  ignore (Frame.relocate cache slab)
+                end
+              in
+              List.iter refresh (Sim.Dlist.to_list node.Frame.full);
+              List.iter refresh (Sim.Dlist.to_list node.Frame.partial);
+              List.iter refresh (Sim.Dlist.to_list node.Frame.free_slabs))
+            cache.Frame.nodes)
+        t.caches;
+      loop (budget - 1)
+    end
+  in
+  loop 1_000
+
+let backend t =
+  {
+    Slab.Backend.label = "prudence";
+    create_cache = (fun ~name ~obj_size -> create_cache t ~name ~obj_size);
+    alloc = (fun cache cpu -> alloc t cache cpu);
+    free = (fun cache cpu obj -> free t cache cpu obj);
+    free_deferred = (fun cache cpu obj -> free_deferred t cache cpu obj);
+    settle = (fun () -> settle t);
+    iter_caches = (fun f -> List.iter (fun (_, c) -> f c) t.caches);
+  }
+
+let create ?(config = default_config) env rcu =
+  let t = { env; rcu; cfg = config; caches = [] } in
+  Rcu.on_gp_complete rcu (fun _completed ->
+      List.iter
+        (fun (_, cache) ->
+          Array.iter Frame.decay_rates cache.Frame.pcpus)
+        t.caches;
+      (* Keep grace periods running while deferred objects wait on them. *)
+      if latent_outstanding t > 0 then Rcu.request_gp rcu);
+  t

@@ -1,0 +1,1 @@
+lib/rcu/rcu.ml: Cblist Gp Readers

@@ -1,0 +1,1 @@
+lib/rcu/cblist.mli:

@@ -1,0 +1,1 @@
+lib/rcu/gp.ml: Array Cblist Format List Mem Sim

@@ -1,0 +1,1 @@
+lib/rcu/gp.mli: Format Mem Sim

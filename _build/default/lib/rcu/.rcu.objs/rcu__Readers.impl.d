@@ -1,0 +1,1 @@
+lib/rcu/readers.ml: Array Gp Hashtbl List Printf Sim

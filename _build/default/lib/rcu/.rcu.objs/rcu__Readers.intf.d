@@ -1,0 +1,1 @@
+lib/rcu/readers.mli: Gp Sim

@@ -1,0 +1,44 @@
+type entry = { cookie : int; fn : unit -> unit }
+
+type t = {
+  wait : entry Queue.t;
+  done_ : (unit -> unit) Queue.t;
+  mutable last_cookie : int;
+}
+
+let create () = { wait = Queue.create (); done_ = Queue.create (); last_cookie = min_int }
+
+let enqueue t ~cookie fn =
+  assert (cookie >= t.last_cookie);
+  t.last_cookie <- cookie;
+  Queue.push { cookie; fn } t.wait
+
+let advance t ~completed =
+  let moved = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.wait with
+    | Some e when e.cookie <= completed ->
+        ignore (Queue.pop t.wait);
+        Queue.push e.fn t.done_;
+        incr moved
+    | _ -> continue := false
+  done;
+  !moved
+
+let take_done t ~max =
+  let rec take n acc =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.done_ with
+      | None -> List.rev acc
+      | Some fn -> take (n - 1) (fn :: acc)
+  in
+  take max []
+
+let waiting t = Queue.length t.wait
+let ready t = Queue.length t.done_
+let total t = waiting t + ready t
+
+let next_cookie t =
+  match Queue.peek_opt t.wait with None -> None | Some e -> Some e.cookie

@@ -1,0 +1,37 @@
+(** Segmented RCU callback list (one per CPU).
+
+    Callbacks are enqueued with the grace-period cookie they must wait for
+    (cookies are non-decreasing in enqueue order, as in Linux's
+    [rcu_segcblist]), sit in the waiting segment until that grace period
+    completes, and are then advanced to the done segment from which the
+    softirq-style invoker drains them in throttled batches. *)
+
+type t
+
+val create : unit -> t
+
+val enqueue : t -> cookie:int -> (unit -> unit) -> unit
+(** [enqueue cbl ~cookie fn] appends a callback that becomes invocable once
+    the grace period identified by [cookie] has completed. [cookie] must be
+    >= every previously enqueued cookie (asserted). *)
+
+val advance : t -> completed:int -> int
+(** [advance cbl ~completed] moves every waiting callback whose cookie is
+    [<= completed] to the done segment; returns how many moved. *)
+
+val take_done : t -> max:int -> (unit -> unit) list
+(** [take_done cbl ~max] removes and returns up to [max] invocable
+    callbacks, oldest first. *)
+
+val waiting : t -> int
+(** Callbacks still waiting for their grace period. *)
+
+val ready : t -> int
+(** Callbacks whose grace period completed but that have not been invoked. *)
+
+val total : t -> int
+(** [waiting + ready]. *)
+
+val next_cookie : t -> int option
+(** Cookie of the oldest waiting callback, if any: the grace period that
+    must complete next for progress. *)

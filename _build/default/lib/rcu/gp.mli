@@ -1,0 +1,116 @@
+(** Read-Copy-Update over the simulated machine.
+
+    Implements the classic kernel scheme the paper describes (§2):
+
+    - readers mark read-side critical sections ({!read_lock} /
+      {!read_unlock}); they never block inside a section;
+    - a context switch on a CPU (delivered by {!Sim.Machine}'s scheduler
+      tick, suppressed while a reader is active) is a quiescent state;
+    - a grace period completes once every CPU has passed through a
+      quiescent state after the grace period started;
+    - deferred work registered with {!call_rcu} waits for a grace period
+      and is then invoked in throttled, batched softirq passes
+      ([blimit] callbacks per pass, expedited above [qhimark] backlog or
+      under memory pressure) — the source of the {e extended object
+      lifetimes} and {e bursty freeing} the paper analyses.
+
+    For Prudence, the module also exposes the polled grace-period interface
+    (§4: "the synchronization mechanism is still responsible for computing
+    the grace period"): {!snapshot} stamps a deferred object with the grace
+    period it must wait for, {!poll} answers whether that grace period has
+    completed, and {!on_gp_complete} notifies the allocator. *)
+
+type config = {
+  blimit : int;
+      (** Callbacks invoked per CPU per softirq pass in normal mode
+          (Linux default: 10). *)
+  expedited_blimit : int;
+      (** Batch size once the backlog exceeds [qhimark] or under memory
+          pressure. *)
+  qhimark : int;  (** Backlog threshold that triggers expediting. *)
+  softirq_period_ns : int;
+      (** Delay between consecutive softirq passes on a CPU with ready
+          callbacks. *)
+  enqueue_cost_ns : int;  (** CPU cost charged by {!call_rcu}. *)
+  invoke_cost_ns : int;  (** CPU cost charged per invoked callback. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Sim.Machine.t -> t
+(** [create machine] hooks RCU into [machine]'s context-switch stream.
+    The machine's ticks must be started for grace periods to advance. *)
+
+val machine : t -> Sim.Machine.t
+val config : t -> config
+
+(** {1 Read side} *)
+
+val read_lock : t -> Sim.Machine.cpu -> unit
+(** Enter a read-side critical section on [cpu]. Nestable. While at least
+    one section is active on a CPU, its scheduler ticks are not quiescent
+    states. *)
+
+val read_unlock : t -> Sim.Machine.cpu -> unit
+
+(** {1 Update side} *)
+
+val call_rcu : t -> Sim.Machine.cpu -> (unit -> unit) -> unit
+(** [call_rcu t cpu fn] defers [fn] until after a grace period; [fn] runs on
+    [cpu] during a later softirq pass (batched and throttled). This is the
+    baseline (SLUB) reclamation path from Listing 1 of the paper. *)
+
+val synchronize : t -> unit
+(** Block the calling process until a full grace period elapses. *)
+
+val barrier_drain : t -> unit
+(** Testing helper: invoke every already-ripe callback immediately,
+    bypassing throttling (does not wait for grace periods). *)
+
+(** {1 Polled grace-period interface (used by Prudence)} *)
+
+val snapshot : t -> int
+(** A cookie identifying the earliest grace period whose completion
+    guarantees that readers current at this instant are done. *)
+
+val poll : t -> int -> bool
+(** [poll t cookie] is [true] once that grace period has completed. *)
+
+val completed : t -> int
+(** Number of grace periods completed so far. *)
+
+val request_gp : t -> unit
+(** Ensure a grace period is (or will be) in progress; used by Prudence,
+    which has latent objects but enqueues no callbacks. *)
+
+val on_gp_complete : t -> (int -> unit) -> unit
+(** [on_gp_complete t fn] calls [fn completed] after each grace period. *)
+
+(** {1 Pressure and diagnostics} *)
+
+val attach_pressure : t -> Mem.Pressure.t -> unit
+(** Expedite callback processing while memory pressure is [Low]/[Critical]
+    and register an OOM handler that drains ripe callbacks (§3.5: "RCU
+    attempts to process more deferred objects as the memory pressure
+    increases"). *)
+
+val set_expedited : t -> bool -> unit
+val expedited : t -> bool
+
+val pending_callbacks : t -> int
+(** Callbacks queued and not yet invoked, across all CPUs. *)
+
+type stats = {
+  gps_started : int;
+  gps_completed : int;
+  cbs_queued : int;
+  cbs_invoked : int;
+  softirq_passes : int;
+  max_backlog : int;  (** High-water mark of {!pending_callbacks}. *)
+  expedited_transitions : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,6 @@
+(** Facade: [Rcu] re-exports the grace-period engine at top level plus the
+    callback-list and reader-tracking submodules. *)
+
+module Cblist = Cblist
+module Readers = Readers
+include Gp

@@ -1,0 +1,1 @@
+lib/rcudata/rcudata.ml: Rcuhash Rculist Rcutree

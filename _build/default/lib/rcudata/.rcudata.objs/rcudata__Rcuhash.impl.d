@@ -1,0 +1,1 @@
+lib/rcudata/rcuhash.ml: Array Printf Rculist

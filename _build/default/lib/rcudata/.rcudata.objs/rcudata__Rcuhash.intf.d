@@ -1,0 +1,1 @@
+lib/rcudata/rcuhash.mli: Rcu Sim Slab

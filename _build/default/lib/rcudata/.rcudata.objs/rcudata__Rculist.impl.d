@@ -1,0 +1,1 @@
+lib/rcudata/rculist.ml: List Rcu Slab

@@ -1,0 +1,1 @@
+lib/rcudata/rculist.mli: Rcu Sim Slab

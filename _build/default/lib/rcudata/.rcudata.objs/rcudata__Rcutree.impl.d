@@ -1,0 +1,1 @@
+lib/rcudata/rcutree.ml: List Rcu Slab

@@ -1,0 +1,1 @@
+lib/rcudata/rcutree.mli: Rcu Sim Slab

@@ -1,0 +1,5 @@
+(** Facade: RCU-protected data structures used by workloads and examples. *)
+
+module Rculist = Rculist
+module Rcuhash = Rcuhash
+module Rcutree = Rcutree

@@ -1,0 +1,27 @@
+type t = { chains : Rculist.t array }
+
+let create ~backend ~readers ~cache ~buckets ~name =
+  if buckets <= 0 then invalid_arg "Rcuhash.create: buckets must be positive";
+  {
+    chains =
+      Array.init buckets (fun i ->
+          Rculist.create ~backend ~readers ~cache
+            ~name:(Printf.sprintf "%s[%d]" name i));
+  }
+
+let buckets t = Array.length t.chains
+
+(* Knuth multiplicative hash; good enough for integer keys. *)
+let bucket_of t key =
+  let h = key * 2654435761 land max_int in
+  t.chains.(h mod Array.length t.chains)
+
+let size t =
+  Array.fold_left (fun acc c -> acc + Rculist.length c) 0 t.chains
+
+let insert t cpu ~key ~value = Rculist.insert (bucket_of t key) cpu ~key ~value
+let update t cpu ~key ~value = Rculist.update (bucket_of t key) cpu ~key ~value
+let delete t cpu ~key = Rculist.delete (bucket_of t key) cpu ~key
+let lookup t cpu ~key = Rculist.lookup (bucket_of t key) cpu ~key
+
+let destroy t cpu = Array.iter (fun c -> Rculist.destroy c cpu) t.chains

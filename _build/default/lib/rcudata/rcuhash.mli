@@ -1,0 +1,33 @@
+(** RCU-protected hash table with per-bucket chains.
+
+    The pattern behind the kernel's dcache/route-cache-style tables the
+    paper cites (§1): lookups are wait-free read-side traversals; updates
+    copy the entry, publish the new version and defer-free the old. Built
+    on {!Rculist} chains, one per bucket. *)
+
+type t
+
+val create :
+  backend:Slab.Backend.t ->
+  readers:Rcu.Readers.t ->
+  cache:Slab.Frame.cache ->
+  buckets:int ->
+  name:string ->
+  t
+(** [buckets] must be positive (fixed-size table). *)
+
+val buckets : t -> int
+val size : t -> int
+(** Total entries across buckets. *)
+
+val insert : t -> Sim.Machine.cpu -> key:int -> value:int -> bool
+(** Insert (allowing duplicates to shadow); [false] on out-of-memory. *)
+
+val update : t -> Sim.Machine.cpu -> key:int -> value:int ->
+  [ `Updated | `Absent | `Oom ]
+
+val delete : t -> Sim.Machine.cpu -> key:int -> bool
+val lookup : t -> Sim.Machine.cpu -> key:int -> int option
+
+val destroy : t -> Sim.Machine.cpu -> unit
+(** Defer-free every entry. *)

@@ -1,0 +1,85 @@
+type entry = { key : int; value : int; obj : Slab.Frame.objekt }
+
+type t = {
+  backend : Slab.Backend.t;
+  readers : Rcu.Readers.t;
+  cache : Slab.Frame.cache;
+  list_name : string;
+  mutable entries : entry list;
+}
+
+let create ~backend ~readers ~cache ~name =
+  { backend; readers; cache; list_name = name; entries = [] }
+
+let name t = t.list_name
+let length t = List.length t.entries
+
+let insert t cpu ~key ~value =
+  match t.backend.Slab.Backend.alloc t.cache cpu with
+  | None -> false
+  | Some obj ->
+      t.entries <- { key; value; obj } :: t.entries;
+      true
+
+let update t cpu ~key ~value =
+  let rec find = function
+    | [] -> None
+    | e :: _ when e.key = key -> Some e
+    | _ :: rest -> find rest
+  in
+  match find t.entries with
+  | None -> `Absent
+  | Some old -> (
+      match t.backend.Slab.Backend.alloc t.cache cpu with
+      | None -> `Oom
+      | Some obj ->
+          let fresh = { key; value; obj } in
+          (* Publish the new version, then defer the old one: pre-existing
+             readers may still hold it (Fig. 1). *)
+          t.entries <-
+            List.map (fun e -> if e == old then fresh else e) t.entries;
+          t.backend.Slab.Backend.free_deferred t.cache cpu old.obj;
+          `Updated)
+
+let delete t cpu ~key =
+  let rec split acc = function
+    | [] -> None
+    | e :: rest when e.key = key -> Some (e, List.rev_append acc rest)
+    | e :: rest -> split (e :: acc) rest
+  in
+  match split [] t.entries with
+  | None -> false
+  | Some (victim, rest) ->
+      t.entries <- rest;
+      t.backend.Slab.Backend.free_deferred t.cache cpu victim.obj;
+      true
+
+let lookup t cpu ~key =
+  Rcu.Readers.with_section t.readers cpu (fun () ->
+      let rec find = function
+        | [] -> None
+        | e :: _ when e.key = key ->
+            (* The reader dereferences the object: track it so reclaiming
+               it now would be flagged. *)
+            Rcu.Readers.hold t.readers cpu ~oid:e.obj.Slab.Frame.oid;
+            Some e.value
+        | _ :: rest -> find rest
+      in
+      find t.entries)
+
+let read_iter t cpu f =
+  Rcu.Readers.with_section t.readers cpu (fun () ->
+      List.iter
+        (fun e ->
+          Rcu.Readers.hold t.readers cpu ~oid:e.obj.Slab.Frame.oid;
+          f ~key:e.key ~value:e.value;
+          Rcu.Readers.release t.readers cpu ~oid:e.obj.Slab.Frame.oid)
+        t.entries)
+
+let keys t = List.map (fun e -> e.key) t.entries
+
+let destroy t cpu =
+  List.iter
+    (fun e -> t.backend.Slab.Backend.free_deferred t.cache cpu e.obj)
+    t.entries;
+  t.entries <- []

@@ -1,0 +1,47 @@
+(** RCU-protected linked list (the paper's Fig. 1 running example).
+
+    Writers never update an element in place: they allocate a new backing
+    object from the slab cache, copy/modify, swing the list to the new
+    version and defer-free the old one through the backend — exactly the
+    procrastination pattern that stresses the allocator. Readers traverse
+    inside read-side critical sections and register the references they
+    hold with {!Rcu.Readers}, arming the premature-reuse checker. *)
+
+type t
+
+val create :
+  backend:Slab.Backend.t ->
+  readers:Rcu.Readers.t ->
+  cache:Slab.Frame.cache ->
+  name:string ->
+  t
+(** A list whose element payloads live in [cache] (e.g. 512-byte objects
+    for the endurance experiment). *)
+
+val name : t -> string
+val length : t -> int
+
+val insert : t -> Sim.Machine.cpu -> key:int -> value:int -> bool
+(** Allocate a node and prepend it. [false] on out-of-memory. Duplicate
+    keys are allowed (the newest shadows). *)
+
+val update : t -> Sim.Machine.cpu -> key:int -> value:int ->
+  [ `Updated | `Absent | `Oom ]
+(** Copy-update: allocate the new version, replace the old in the list,
+    defer-free the old version (Fig. 1). *)
+
+val delete : t -> Sim.Machine.cpu -> key:int -> bool
+(** Unlink the element and defer-free its backing object. *)
+
+val lookup : t -> Sim.Machine.cpu -> key:int -> int option
+(** Read-side traversal in a critical section; holds a tracked reference
+    to the found element while "using" it. *)
+
+val read_iter : t -> Sim.Machine.cpu -> (key:int -> value:int -> unit) -> unit
+(** Visit every element inside one critical section. *)
+
+val keys : t -> int list
+(** Snapshot of the keys (test helper, not a simulated read). *)
+
+val destroy : t -> Sim.Machine.cpu -> unit
+(** Delete every element (defer-freeing each). *)

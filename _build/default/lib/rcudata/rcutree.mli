@@ -1,0 +1,52 @@
+(** RCU-protected binary search tree with path copying.
+
+    The paper notes (§3.1) that tree updates defer {e multiple} objects per
+    operation: "tree re-balancing results in multiple deferred objects"
+    (citing RCU balanced trees). This structure models that traffic
+    pattern: writers never mutate reachable nodes — an insert, update or
+    delete rebuilds the root-to-site path from fresh slab objects,
+    publishes the new root, and defer-frees every replaced node, so a
+    single update defers O(depth) objects. Readers traverse inside
+    read-side critical sections, registering each node they touch with the
+    {!Rcu.Readers} checker.
+
+    Keys are rotated into place with the classic root-insertion-free treap
+    discipline replaced by simple BST shape (no rebalancing); the
+    deferred-object traffic per update is the object of study, not the
+    asymptotics. *)
+
+type t
+
+val create :
+  backend:Slab.Backend.t ->
+  readers:Rcu.Readers.t ->
+  cache:Slab.Frame.cache ->
+  name:string ->
+  t
+
+val name : t -> string
+val size : t -> int
+val depth : t -> int
+(** Height of the current root version (0 for empty). *)
+
+val insert : t -> Sim.Machine.cpu -> key:int -> value:int -> bool
+(** Insert or replace [key]; path-copies from the root and defer-frees the
+    old path (and the old node, if replacing). [false] on out-of-memory
+    (the tree is unchanged). *)
+
+val delete : t -> Sim.Machine.cpu -> key:int -> bool
+(** Remove [key] if present; path-copies and defer-frees the old path and
+    the removed node. [false] if absent or out-of-memory. *)
+
+val lookup : t -> Sim.Machine.cpu -> key:int -> int option
+(** Read-side traversal; every visited node is held (and released) through
+    the reader tracker. *)
+
+val to_sorted_list : t -> (int * int) list
+(** In-order (key, value) pairs — test helper, not a simulated read. *)
+
+val check_bst_invariant : t -> unit
+(** Assert strict key ordering throughout the current version. *)
+
+val destroy : t -> Sim.Machine.cpu -> unit
+(** Defer-free every node of the current version. *)

@@ -1,0 +1,1 @@
+lib/sim/stat.mli: Format

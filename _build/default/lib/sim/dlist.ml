@@ -1,0 +1,83 @@
+type 'a node = {
+  v : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable owner : 'a t option;
+}
+
+and 'a t = {
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable size : int;
+}
+
+let create () = { head = None; tail = None; size = 0 }
+
+let length l = l.size
+let is_empty l = l.size = 0
+let value n = n.v
+
+let push_front l v =
+  let n = { v; prev = None; next = l.head; owner = Some l } in
+  (match l.head with Some h -> h.prev <- Some n | None -> l.tail <- Some n);
+  l.head <- Some n;
+  l.size <- l.size + 1;
+  n
+
+let push_back l v =
+  let n = { v; prev = l.tail; next = None; owner = Some l } in
+  (match l.tail with Some t -> t.next <- Some n | None -> l.head <- Some n);
+  l.tail <- Some n;
+  l.size <- l.size + 1;
+  n
+
+let remove l n =
+  (match n.owner with
+  | Some o when o == l -> ()
+  | _ -> invalid_arg "Dlist.remove: node not on this list");
+  (match n.prev with Some p -> p.next <- n.next | None -> l.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> l.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None;
+  n.owner <- None;
+  l.size <- l.size - 1
+
+let peek_front l = match l.head with None -> None | Some n -> Some n.v
+
+let pop_front l =
+  match l.head with
+  | None -> None
+  | Some n ->
+      remove l n;
+      Some n.v
+
+let iter f l =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        let next = n.next in
+        f n.v;
+        go next
+  in
+  go l.head
+
+let fold f acc l =
+  let acc = ref acc in
+  iter (fun v -> acc := f !acc v) l;
+  !acc
+
+let first_n l n =
+  let rec go acc k = function
+    | Some node when k > 0 -> go (node.v :: acc) (k - 1) node.next
+    | _ -> List.rev acc
+  in
+  go [] n l.head
+
+let exists p l =
+  let rec go = function
+    | None -> false
+    | Some n -> p n.v || go n.next
+  in
+  go l.head
+
+let to_list l = List.rev (fold (fun acc v -> v :: acc) [] l)

@@ -1,0 +1,36 @@
+(** Intrusive doubly-linked list with O(1) removal by node handle.
+
+    The slab allocators keep each slab on exactly one node-level list
+    (full / partial / free) and move slabs between lists constantly; the
+    handle returned by [push_*] makes those moves O(1) even with thousands
+    of slabs. *)
+
+type 'a t
+type 'a node
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val value : 'a node -> 'a
+
+val push_front : 'a t -> 'a -> 'a node
+val push_back : 'a t -> 'a -> 'a node
+
+val remove : 'a t -> 'a node -> unit
+(** [remove l n] unlinks [n]. Raises [Invalid_argument] if [n] is not
+    currently on [l]. *)
+
+val peek_front : 'a t -> 'a option
+val pop_front : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front to back. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val first_n : 'a t -> int -> 'a list
+(** Up to [n] elements from the front, front first. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list

@@ -1,0 +1,125 @@
+type event = {
+  time : int;
+  seq : int;
+  fn : unit -> unit;
+  daemon : bool;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  mutable running : bool;
+  mutable stop_requested : bool;
+  mutable executed : int;
+  mutable busy : int; (* queued non-daemon events *)
+  mutable waiters : int; (* suspended processes (condition waits) *)
+  queue : event Heap.t;
+  rng : Rng.t;
+}
+
+let compare_events a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 42) () =
+  {
+    now = 0;
+    seq = 0;
+    running = false;
+    stop_requested = false;
+    executed = 0;
+    busy = 0;
+    waiters = 0;
+    queue = Heap.create ~cmp:compare_events ();
+    rng = Rng.create ~seed;
+  }
+
+let now t = t.now
+let rng t = t.rng
+
+let schedule_at ?(daemon = false) t ~time fn =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
+         time t.now);
+  let ev = { time; seq = t.seq; fn; daemon; cancelled = false } in
+  t.seq <- t.seq + 1;
+  if not daemon then t.busy <- t.busy + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule ?daemon t ~after fn =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at ?daemon t ~time:(t.now + after) fn
+
+let incr_waiters t = t.waiters <- t.waiters + 1
+let decr_waiters t = t.waiters <- t.waiters - 1
+let busy t = t.busy + t.waiters
+
+let cancel ev = ev.cancelled <- true
+
+let stop t = t.stop_requested <- true
+let stopped t = t.stop_requested
+let pending t = Heap.length t.queue
+let executed t = t.executed
+
+let exec t ev =
+  t.now <- ev.time;
+  if not ev.daemon then t.busy <- t.busy - 1;
+  if not ev.cancelled then begin
+    t.executed <- t.executed + 1;
+    ev.fn ()
+  end
+
+let step t =
+  if t.stop_requested then false
+  else
+    match Heap.pop t.queue with
+    | None -> false
+    | Some ev ->
+        exec t ev;
+        true
+
+let run ?until t =
+  t.running <- true;
+  let horizon = match until with None -> max_int | Some u -> u in
+  let rec loop () =
+    if t.stop_requested then ()
+    else
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some ev when ev.time > horizon -> ()
+      | Some _ ->
+          exec t (Heap.pop_exn t.queue);
+          loop ()
+  in
+  loop ();
+  t.running <- false;
+  match until with
+  | Some u when (not t.stop_requested) && u > t.now -> t.now <- u
+  | _ -> ()
+
+let every t ~period ?phase fn =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let first = match phase with None -> period | Some p -> p in
+  let rec tick () =
+    if (not (stopped t)) && fn () then
+      ignore (schedule ~daemon:true t ~after:period tick)
+  in
+  ignore (schedule ~daemon:true t ~after:first tick)
+
+let run_until_quiet ?(horizon = max_int) t =
+  let rec loop () =
+    if t.stop_requested || t.busy + t.waiters = 0 then ()
+    else
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some ev when ev.time > horizon -> ()
+      | Some _ ->
+          exec t (Heap.pop_exn t.queue);
+          loop ()
+  in
+  loop ()

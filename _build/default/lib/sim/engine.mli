@@ -1,0 +1,79 @@
+(** Virtual-time discrete-event engine.
+
+    The engine owns a monotonically increasing virtual clock (nanoseconds)
+    and a priority queue of events. Events scheduled for the same instant run
+    in scheduling order (FIFO), which makes every simulation deterministic
+    for a given seed.
+
+    The engine is single-threaded on purpose: the reproduction models a
+    64-CPU machine with virtual time rather than real parallelism, which is
+    both deterministic and unaffected by OCaml runtime characteristics. *)
+
+type t
+(** An engine: clock + event queue + root RNG. *)
+
+type handle
+(** Cancellation handle for a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes a fresh engine at time 0. Default seed 42. *)
+
+val now : t -> int
+(** Current virtual time in nanoseconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG; subsystems should [Rng.split] it. *)
+
+val schedule : ?daemon:bool -> t -> after:int -> (unit -> unit) -> handle
+(** [schedule t ~after fn] runs [fn] at time [now t + after].
+    [after] must be non-negative. [daemon] (default false) marks
+    housekeeping events (scheduler ticks, samplers) that should not keep
+    {!run_until_quiet} alive. *)
+
+val schedule_at : ?daemon:bool -> t -> time:int -> (unit -> unit) -> handle
+(** [schedule_at t ~time fn] runs [fn] at absolute [time] (>= [now t]). *)
+
+val cancel : handle -> unit
+(** [cancel h] prevents the event from running if it has not run yet. *)
+
+val run : ?until:int -> t -> unit
+(** [run ?until t] executes events in time order. Stops when the queue is
+    empty, [stop] is called, or the next event is past [until] (absolute
+    time). If [until] is given the clock is advanced to [until] on return
+    (unless stopped earlier). *)
+
+val step : t -> bool
+(** [step t] executes the single next event; [false] if the queue was empty
+    or the engine is stopped. *)
+
+val stop : t -> unit
+(** Halt the run loop after the current event; used e.g. on simulated OOM. *)
+
+val stopped : t -> bool
+(** Whether [stop] has been called. *)
+
+val pending : t -> int
+(** Number of queued events (including cancelled ones not yet dropped). *)
+
+val executed : t -> int
+(** Total number of events executed so far (diagnostic). *)
+
+val run_until_quiet : ?horizon:int -> t -> unit
+(** Run while there is live work: non-daemon events queued or processes
+    suspended on conditions. Stops when only daemon events (ticks,
+    samplers) remain, when [stop] is called, or at [horizon]. This is how
+    workloads run "to completion" without replaying scheduler ticks out to
+    an arbitrary horizon. *)
+
+val incr_waiters : t -> unit
+(** Register a suspended process (used by {!Process.Cond}). *)
+
+val decr_waiters : t -> unit
+
+val busy : t -> int
+(** Queued non-daemon events plus suspended processes. *)
+
+val every : t -> period:int -> ?phase:int -> (unit -> bool) -> unit
+(** [every t ~period ?phase fn] first runs [fn] at [now + phase] (default
+    [period]) and then every [period] ns for as long as [fn] returns [true]
+    and the engine is not stopped. *)

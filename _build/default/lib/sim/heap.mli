@@ -1,0 +1,40 @@
+(** Binary min-heap over arbitrary elements.
+
+    Used as the event queue of the simulation {!Engine}; also reusable as a
+    generic priority queue. Elements are ordered by the comparison function
+    supplied at creation time; ties are broken by insertion order only if the
+    caller encodes a sequence number in the element (the engine does). *)
+
+type 'a t
+(** A mutable binary min-heap holding elements of type ['a]. *)
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x] into [h]. Amortized O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the smallest element of [h], without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the smallest element of [h]. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes every element. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f h] applies [f] to every element in unspecified order. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] drains [h] and returns its elements smallest-first.
+    The heap is empty afterwards. *)

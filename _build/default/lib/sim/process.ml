@@ -1,0 +1,65 @@
+type cond = {
+  engine : Engine.t;
+  mutable queue : (unit -> unit) list; (* waiter resumptions, reversed *)
+}
+
+type _ Effect.t +=
+  | Sleep : Engine.t * int -> unit Effect.t
+  | Wait : cond -> unit Effect.t
+
+let sleep eng ns = Effect.perform (Sleep (eng, ns))
+
+let yield eng = sleep eng 0
+
+module Cond = struct
+  type t = cond
+
+  let create engine = { engine; queue = [] }
+
+  let wait c =
+    Engine.incr_waiters c.engine;
+    Effect.perform (Wait c)
+
+  let broadcast c =
+    let waiters = List.rev c.queue in
+    c.queue <- [];
+    List.iter
+      (fun resume ->
+        Engine.decr_waiters c.engine;
+        ignore (Engine.schedule c.engine ~after:0 resume))
+      waiters
+
+  let waiters c = List.length c.queue
+end
+
+let spawn eng body =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep (e, ns) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  ignore (Engine.schedule e ~after:ns (fun () -> continue k ())))
+          | Wait c ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  c.queue <- (fun () -> continue k ()) :: c.queue)
+          | _ -> None);
+    }
+  in
+  ignore (Engine.schedule eng ~after:0 (fun () -> match_with body () handler))
+
+let wait_until eng c pred =
+  ignore eng;
+  let rec loop () =
+    if not (pred ()) then begin
+      Cond.wait c;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,88 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the integer seed into generator state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  (* xoshiro state must not be all-zero; splitmix64 guarantees it for any
+     seed, but keep a belt-and-braces fixup. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 g =
+  let open Int64 in
+  let result = add (rotl (add g.s0 g.s3) 23) g.s0 in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let seed = Int64.to_int (bits64 g) in
+  create ~seed
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (bits64 g) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 random bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  let unit = Int64.to_float bits *. (1.0 /. 9007199254740992.0) in
+  unit *. bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let chance g p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float g 1.0 < p
+
+let exponential g ~mean =
+  let u = ref (float g 1.0) in
+  if !u = 0.0 then u := 1e-12;
+  -.mean *. log !u
+
+let geometric g ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p out of range";
+  if p = 1.0 then 0
+  else begin
+    let u = ref (float g 1.0) in
+    if !u = 0.0 then u := 1e-12;
+    int_of_float (Float.floor (log !u /. log (1.0 -. p)))
+  end
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

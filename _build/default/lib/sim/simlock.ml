@@ -1,0 +1,42 @@
+type t = {
+  lock_name : string;
+  mutable free_at : int;
+  mutable acquisitions : int;
+  mutable contended : int;
+  mutable total_wait : int;
+  mutable total_hold : int;
+}
+
+let create ~name =
+  {
+    lock_name = name;
+    free_at = 0;
+    acquisitions = 0;
+    contended = 0;
+    total_wait = 0;
+    total_hold = 0;
+  }
+
+let name l = l.lock_name
+
+let acquire l ~now ~hold =
+  if hold < 0 then invalid_arg "Simlock.acquire: negative hold";
+  let start = if now >= l.free_at then now else l.free_at in
+  let wait = start - now in
+  l.free_at <- start + hold;
+  l.acquisitions <- l.acquisitions + 1;
+  if wait > 0 then l.contended <- l.contended + 1;
+  l.total_wait <- l.total_wait + wait;
+  l.total_hold <- l.total_hold + hold;
+  wait + hold
+
+let acquisitions l = l.acquisitions
+let contended l = l.contended
+let total_wait_ns l = l.total_wait
+let total_hold_ns l = l.total_hold
+
+let reset_stats l =
+  l.acquisitions <- 0;
+  l.contended <- 0;
+  l.total_wait <- 0;
+  l.total_hold <- 0

@@ -1,0 +1,1 @@
+lib/slab/slab.ml: Backend Costs Frame Kmalloc Size_class Slab_stats Slub

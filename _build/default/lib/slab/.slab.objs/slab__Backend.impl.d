@@ -1,0 +1,1 @@
+lib/slab/backend.ml: Frame Sim

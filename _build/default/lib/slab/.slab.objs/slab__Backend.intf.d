@@ -1,0 +1,1 @@
+lib/slab/backend.mli: Frame Sim

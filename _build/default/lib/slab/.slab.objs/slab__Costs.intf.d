@@ -1,0 +1,1 @@
+lib/slab/costs.mli:

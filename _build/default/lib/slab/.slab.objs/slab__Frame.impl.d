@@ -1,0 +1,1 @@
+lib/slab/frame.ml: Array Costs Format List Mem Printf Sim Size_class Slab_stats

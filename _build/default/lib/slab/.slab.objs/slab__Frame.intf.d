@@ -1,0 +1,1 @@
+lib/slab/frame.mli: Costs Format Mem Sim Slab_stats

@@ -1,0 +1,1 @@
+lib/slab/kmalloc.ml: Backend Frame List Size_class

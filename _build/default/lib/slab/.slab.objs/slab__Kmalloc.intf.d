@@ -1,0 +1,1 @@
+lib/slab/kmalloc.mli: Backend Frame Sim

@@ -1,0 +1,1 @@
+lib/slab/size_class.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/slab/slab_stats.mli: Format

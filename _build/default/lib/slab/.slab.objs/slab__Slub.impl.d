@@ -1,0 +1,1 @@
+lib/slab/slub.ml: Backend Costs Frame List Rcu Sim Slab_stats

@@ -1,0 +1,1 @@
+lib/slab/slub.mli: Backend Frame Rcu Sim

@@ -1,0 +1,293 @@
+(** Shared slab-cache machinery.
+
+    Implements the structure of Fig. 2/Fig. 4 of the paper: a slab cache is
+    a set of per-CPU object caches plus per-NUMA-node lists of slabs
+    (full / partial / free); each slab is [2^order] contiguous pages carved
+    into equal-sized objects. Prudence extends every object cache with a
+    latent cache and every slab with a latent list (Fig. 4); the frame
+    carries both so the SLUB baseline ({!Slub}) and Prudence share
+    accounting, and policies differ only in how they use it.
+
+    All operations charge virtual time to the CPU performing them through
+    the {!Costs} model and the node's {!Sim.Simlock}. *)
+
+(** {1 Types} *)
+
+type env = {
+  machine : Sim.Machine.t;
+  buddy : Mem.Buddy.t;
+  pressure : Mem.Pressure.t option;
+  costs : Costs.t;
+  page_lock : Sim.Simlock.t;
+      (** The page allocator's zone lock: slab grow/shrink serializes here
+          with a hold that scales with slab order (page zeroing), the
+          driver of the baseline's large-object collapse in Fig. 6. *)
+  mutable reuse_check : (int -> unit) option;
+      (** Safety hook: called with the object id whenever an object is
+          handed to a mutator; wired to {!Rcu.Readers.check_reusable}. *)
+  mutable next_oid : int;
+  mutable next_sid : int;
+}
+
+val make_env :
+  ?pressure:Mem.Pressure.t ->
+  ?costs:Costs.t ->
+  Sim.Machine.t ->
+  Mem.Buddy.t ->
+  env
+
+type ostate =
+  | Free_in_slab  (** On its slab's freelist. *)
+  | In_object_cache  (** In some CPU's object cache, ready to allocate. *)
+  | Allocated  (** Held by a mutator (or deferred and not yet released). *)
+  | In_latent_cache  (** Deferred; in a CPU's latent cache (Prudence). *)
+  | In_latent_slab  (** Deferred; parked on its slab's latent list. *)
+
+val pp_ostate : Format.formatter -> ostate -> unit
+
+type list_id = L_full | L_partial | L_free | L_unlinked
+
+val pp_list_id : Format.formatter -> list_id -> unit
+
+type objekt = private {
+  oid : int;  (** Unique object id (for the safety checker). *)
+  parent : slab;
+  mutable ostate : ostate;
+  mutable gp_cookie : int;
+      (** Grace period this deferred object waits for (Prudence). *)
+  mutable touched : bool;
+      (** Whether a mutator has ever used this object's memory (first
+          touch is charged cold-miss cost). *)
+}
+
+and slab = private {
+  sid : int;
+  color : int;  (** Cache-colouring offset index (cycled per §4.3). *)
+  node_id : int;
+  cache : cache;
+  block : Mem.Buddy.block;
+  capacity : int;
+  mutable free_objs : objekt list;
+  mutable free_n : int;
+  mutable latent_objs : objekt list;
+  mutable latent_n : int;
+  mutable in_flight : int;
+      (** Objects in object caches, latent caches, or held by mutators. *)
+  mutable on_list : list_id;
+  mutable link : slab Sim.Dlist.node option;
+  mutable latent_link : slab Sim.Dlist.node option;
+      (** Membership handle on the node's latent-slab list. *)
+}
+
+and node = private {
+  nid : int;
+  lock : Sim.Simlock.t;
+  full : slab Sim.Dlist.t;
+  partial : slab Sim.Dlist.t;
+  free_slabs : slab Sim.Dlist.t;
+  latent_slabs : slab Sim.Dlist.t;
+      (** Slabs holding latent objects, oldest first; Prudence harvests
+          ripe objects from the front after each grace period. *)
+}
+
+and pcpu = private {
+  cpu : Sim.Machine.cpu;
+  mutable ocache : objekt list;
+  mutable ocache_n : int;
+  latent : objekt Sim.Deque.t;  (** Prudence's latent cache. *)
+  mutable preflush_scheduled : bool;
+  mutable recent_allocs : int;  (** Since the last grace period (rates). *)
+  mutable recent_releases : int;
+}
+
+and cache = private {
+  name : string;
+  obj_size : int;
+  order : int;
+  objs_per_slab : int;
+  ocache_cap : int;
+  batch : int;
+  latent_aware : bool;
+      (** Whether slab placement considers latent objects (Prudence). *)
+  latent_cap : int;  (** Latent-cache bound (= [ocache_cap] per §4.1). *)
+  env : env;
+  nodes : node array;
+  pcpus : pcpu array;
+  stats : Slab_stats.t;
+  mutable color_next : int;
+  mutable total_slabs : int;
+  mutable live_objs : int;  (** Objects currently requested by mutators. *)
+  mutable latent_count : int;
+      (** Deferred objects currently in latent caches + latent slabs. *)
+  mutable free_target : (unit -> int) option;
+      (** Policy estimate of how many free slabs a node should keep before
+          shrinking (Prudence derives it from latent objects + recent
+          allocation rate — a "hint about the future"). *)
+}
+
+exception Slab_oom of string
+(** Raised when a cache cannot grow and the policy cannot wait. *)
+
+(** {1 Cache construction} *)
+
+val create_cache :
+  env ->
+  name:string ->
+  obj_size:int ->
+  ?latent_aware:bool ->
+  ?latent_cap:int ->
+  unit ->
+  cache
+(** Builds a cache sized by {!Size_class} heuristics over the machine's
+    CPUs and NUMA nodes. [latent_aware] (default false) enables Prudence's
+    latent bookkeeping in slab placement; [latent_cap] defaults to the
+    object-cache capacity. *)
+
+val slab_bytes : cache -> int
+val node_for : cache -> Sim.Machine.cpu -> node
+val pcpu_for : cache -> Sim.Machine.cpu -> pcpu
+
+(** {1 Accounting queries} *)
+
+val live_objects : cache -> int
+val total_slabs : cache -> int
+
+val latent_total : cache -> int
+(** Deferred objects currently parked in latent caches and latent slabs
+    (O(1) counter). *)
+
+val set_free_target : cache -> (unit -> int) -> unit
+(** Install a policy estimate of the free slabs each node keeps before
+    shrinking (floored at {!Size_class.min_free_slabs}); Prudence sets it
+    from latent objects + recent allocation rate ("hints about the
+    future"). *)
+
+val fragmentation : cache -> float
+(** Total fragmentation [f_t = allocated bytes / requested bytes] (paper
+    §4.2). Returns [nan] when no objects are live. *)
+
+val truly_free : slab -> bool
+(** All objects back on the freelist: the slab's pages may be returned. *)
+
+(** {1 Locked node-list operations}
+
+    Each of these charges the caller CPU the configured lock hold plus any
+    queueing delay, modelling node-lock contention. *)
+
+val lock_node : cache -> Sim.Machine.cpu -> node -> unit
+(** Charge one lock acquisition (wait + hold) to [cpu]. *)
+
+val relocate : cache -> slab -> bool
+(** Place [slab] on the node list its counters dictate. With
+    [latent_aware]: a slab whose remaining objects are all free-or-latent
+    pre-moves to the free list, and a full slab with latent objects
+    pre-moves to the partial list (paper, "slab pre-movement"). Returns
+    [true] if the slab changed lists. Does not itself charge lock time
+    (callers batch it under one acquisition). *)
+
+(** {1 Object movement} *)
+
+val take_free_obj : slab -> objekt option
+(** Pop one object from the slab freelist; caller must set its state and
+    relocate the slab. *)
+
+val push_ocache : cache -> pcpu -> objekt -> unit
+val pop_ocache : pcpu -> objekt option
+
+val hand_to_user : cache -> Sim.Machine.cpu -> objekt -> unit
+(** Mark [objekt] allocated, bump live counters, charge the first-touch
+    cost if its memory was never used, run the reuse-safety hook. *)
+
+val release_from_user : cache -> objekt -> unit
+(** Mark a mutator release (immediate free path): decrements live count. *)
+
+val stamp_deferred : cache -> objekt -> cookie:int -> unit
+(** Record the grace-period cookie and decrement the live count (the
+    mutator no longer holds the object). *)
+
+val obj_to_latent_cache : cache -> pcpu -> objekt -> unit
+val obj_to_latent_slab : cache -> objekt -> unit
+(** Move a deferred object onto its slab's latent list. Caller relocates. *)
+
+val latent_cache_pop_ripe : cache -> pcpu -> completed:int -> objekt option
+(** Pop the oldest latent-cache object if its grace period completed. *)
+
+val latent_cache_pop_newest : cache -> pcpu -> objekt option
+(** Pop the newest latent-cache object (pre-flush eviction order). *)
+
+val slab_harvest_ripe : slab -> completed:int -> int
+(** Move every ripe latent object of [slab] back to its freelist; returns
+    the count. Caller relocates. *)
+
+val put_free_obj : slab -> objekt -> unit
+(** Return an object (from an object cache) to its slab freelist. *)
+
+(** {1 Slab lifecycle} *)
+
+val grow : cache -> Sim.Machine.cpu -> slab option
+(** Allocate pages for a new slab on [cpu]'s node, link it on the free
+    list, charge grow cost. On buddy failure runs the pressure OOM chain
+    once and retries; [None] if memory is truly exhausted. *)
+
+val destroy_slab : cache -> slab -> unit
+(** Unlink a {!truly_free} slab and return its pages. *)
+
+val shrink_node : cache -> Sim.Machine.cpu -> node -> int
+(** Destroy truly-free slabs while the node holds more than
+    {!Size_class.min_free_slabs}; returns how many were destroyed. *)
+
+(** {1 Bulk cache <-> node transfers} *)
+
+val refill_from_node :
+  cache ->
+  Sim.Machine.cpu ->
+  want:int ->
+  select:(node -> slab option) ->
+  int
+(** Move up to [want] free objects from node slabs into [cpu]'s object
+    cache under one lock acquisition, using [select] to choose each source
+    slab (this is where SLUB and Prudence differ). Returns objects moved
+    and counts one refill operation if any moved. *)
+
+val flush_to_node : cache -> Sim.Machine.cpu -> count:int -> unit
+(** Move [count] objects from [cpu]'s object cache back to their slabs
+    under one lock acquisition, then run the shrink check. Counts one
+    flush operation if any moved. *)
+
+(** {1 Selection policies} *)
+
+val select_slub : node -> slab option
+(** SLUB's choice: first partial slab, else first free slab. *)
+
+val select_prudence : scan_depth:int -> node -> slab option
+(** Prudence's choice (§4.2 "reduces total fragmentation"): among the
+    first [scan_depth] partial slabs, prefer the one minimizing future
+    fragmentation — fewest latent objects, then most free objects; skips
+    slabs whose allocated objects are mostly deferred; falls back to free
+    slabs, then to any scanned partial slab. *)
+
+(** {1 Consistency} *)
+
+val check_invariants : cache -> unit
+(** Assert the full accounting story: per-slab
+    [free + latent + in_flight = capacity], list membership matches
+    [on_list], object states match their container, global counts add up.
+    For tests. *)
+
+val pp_cache : Format.formatter -> cache -> unit
+
+(** {1 Per-CPU policy state helpers}
+
+    The pcpu record is private; Prudence mutates its policy fields through
+    these. *)
+
+val set_preflush_scheduled : pcpu -> bool -> unit
+val note_alloc : pcpu -> unit
+(** Bump the per-CPU allocation-rate counter (pre-flush policy input). *)
+
+val note_release : pcpu -> unit
+(** Bump the per-CPU free/deferred-free rate counter. *)
+
+val decay_rates : pcpu -> unit
+(** Halve both rate counters; called once per grace period so the rates
+    reflect "recent few grace period intervals" (§4.2). *)

@@ -1,0 +1,30 @@
+type t = {
+  backend : Backend.t;
+  mutable classes : (int * Frame.cache) list; (* class size -> cache *)
+}
+
+let create backend = { backend; classes = [] }
+
+let backend t = t.backend
+
+let cache_for t ~size =
+  let cls = Size_class.kmalloc_class size in
+  match List.assoc_opt cls t.classes with
+  | Some c -> c
+  | None ->
+      let c =
+        t.backend.Backend.create_cache
+          ~name:(Size_class.kmalloc_cache_name cls) ~obj_size:cls
+      in
+      t.classes <- (cls, c) :: t.classes;
+      c
+
+let alloc t cpu ~size = t.backend.Backend.alloc (cache_for t ~size) cpu
+
+let free t cpu (obj : Frame.objekt) =
+  t.backend.Backend.free obj.Frame.parent.Frame.cache cpu obj
+
+let free_deferred t cpu (obj : Frame.objekt) =
+  t.backend.Backend.free_deferred obj.Frame.parent.Frame.cache cpu obj
+
+let iter_caches t f = List.iter (fun (_, c) -> f c) t.classes

@@ -1,0 +1,26 @@
+(** kmalloc-style size-class facade.
+
+    Routes arbitrary-size allocation requests to per-size-class slab caches
+    named [kmalloc-8 .. kmalloc-8192], as the kernel does; the paper's
+    microbenchmark (Fig. 6) and several application caches (kmalloc-64, ...)
+    go through this interface. Works over any {!Backend.t}. *)
+
+type t
+
+val create : Backend.t -> t
+
+val backend : t -> Backend.t
+
+val cache_for : t -> size:int -> Frame.cache
+(** The (lazily created) cache of the smallest class >= [size]. *)
+
+val alloc : t -> Sim.Machine.cpu -> size:int -> Frame.objekt option
+(** kmalloc: allocate from the class cache for [size]. *)
+
+val free : t -> Sim.Machine.cpu -> Frame.objekt -> unit
+(** kfree. *)
+
+val free_deferred : t -> Sim.Machine.cpu -> Frame.objekt -> unit
+(** kfree_deferred (Prudence) / kfree_rcu-style deferred free (baseline). *)
+
+val iter_caches : t -> (Frame.cache -> unit) -> unit

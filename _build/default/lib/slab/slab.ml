@@ -1,0 +1,17 @@
+(** Facade: the slab allocation layer.
+
+    - {!Size_class}: kmalloc classes and sizing heuristics
+    - {!Costs}: the virtual-time cost model (hit / 4x refill / 14x grow)
+    - {!Slab_stats}: per-cache statistics behind Figs. 7-11
+    - {!Frame}: shared cache/slab/node machinery
+    - {!Slub}: the baseline allocator (deferred frees via [call_rcu])
+    - {!Backend}: allocator-agnostic interface used by the workloads
+    - {!Kmalloc}: size-class facade *)
+
+module Size_class = Size_class
+module Costs = Costs
+module Slab_stats = Slab_stats
+module Frame = Frame
+module Backend = Backend
+module Slub = Slub
+module Kmalloc = Kmalloc

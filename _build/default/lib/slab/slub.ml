@@ -1,0 +1,102 @@
+type t = {
+  env : Frame.env;
+  rcu : Rcu.t;
+  mutable caches : (string * Frame.cache) list;
+}
+
+let create env rcu = { env; rcu; caches = [] }
+
+let env t = t.env
+let rcu t = t.rcu
+
+let create_cache t ~name ~obj_size =
+  match List.assoc_opt name t.caches with
+  | Some c -> c
+  | None ->
+      let c = Frame.create_cache t.env ~name ~obj_size () in
+      t.caches <- (name, c) :: t.caches;
+      c
+
+let charge (cpu : Sim.Machine.cpu) ns = Sim.Machine.consume cpu ns
+
+let alloc t (cache : Frame.cache) cpu =
+  let costs = t.env.Frame.costs in
+  let pc = Frame.pcpu_for cache cpu in
+  Slab_stats.alloc cache.Frame.stats;
+  charge cpu costs.Costs.hit;
+  match Frame.pop_ocache pc with
+  | Some obj ->
+      Slab_stats.hit cache.Frame.stats;
+      Frame.hand_to_user cache cpu obj;
+      Some obj
+  | None ->
+      Slab_stats.miss cache.Frame.stats;
+      let got =
+        Frame.refill_from_node cache cpu ~want:cache.Frame.batch
+          ~select:Frame.select_slub
+      in
+      let got =
+        if got > 0 then got
+        else
+          match Frame.grow cache cpu with
+          | Some _slab ->
+              Frame.refill_from_node cache cpu ~want:cache.Frame.batch
+                ~select:Frame.select_slub
+          | None -> 0
+      in
+      if got = 0 then None
+      else
+        match Frame.pop_ocache pc with
+        | Some obj ->
+            Frame.hand_to_user cache cpu obj;
+            Some obj
+        | None -> None
+
+(* The reclamation path shared by immediate frees and RCU callbacks. *)
+let release t (cache : Frame.cache) cpu obj =
+  let costs = t.env.Frame.costs in
+  let pc = Frame.pcpu_for cache cpu in
+  charge cpu costs.Costs.free_to_cache;
+  Frame.push_ocache cache pc obj;
+  if pc.Frame.ocache_n > cache.Frame.ocache_cap then
+    (* Overflow: flush half the object cache (§3.3). *)
+    Frame.flush_to_node cache cpu
+      ~count:(pc.Frame.ocache_n - (cache.Frame.ocache_cap / 2))
+
+let free t cache cpu obj =
+  Slab_stats.free cache.Frame.stats;
+  Frame.release_from_user cache obj;
+  release t cache cpu obj
+
+let free_deferred t (cache : Frame.cache) cpu obj =
+  let costs = t.env.Frame.costs in
+  Slab_stats.deferred_free cache.Frame.stats;
+  let cookie = Rcu.snapshot t.rcu in
+  Frame.stamp_deferred cache obj ~cookie;
+  charge cpu costs.Costs.defer_enqueue;
+  (* Listing 1: the allocator never sees the object until RCU invokes the
+     callback, possibly long after the grace period. *)
+  Rcu.call_rcu t.rcu cpu (fun () -> release t cache cpu obj)
+
+let settle t =
+  let rec loop budget =
+    if budget = 0 then
+      failwith "Slub.settle: deferred callbacks failed to drain"
+    else if Rcu.pending_callbacks t.rcu > 0 then begin
+      Rcu.synchronize t.rcu;
+      Rcu.barrier_drain t.rcu;
+      loop (budget - 1)
+    end
+  in
+  loop 1_000
+
+let backend t =
+  {
+    Backend.label = "slub";
+    create_cache = (fun ~name ~obj_size -> create_cache t ~name ~obj_size);
+    alloc = (fun cache cpu -> alloc t cache cpu);
+    free = (fun cache cpu obj -> free t cache cpu obj);
+    free_deferred = (fun cache cpu obj -> free_deferred t cache cpu obj);
+    settle = (fun () -> settle t);
+    iter_caches = (fun f -> List.iter (fun (_, c) -> f c) t.caches);
+  }

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Apache Appmodel Endurance Env Microbench Netperf Postgresql Postmark

@@ -1,0 +1,1 @@
+lib/workloads/appmodel.ml: Env Float Hashtbl List Printf Sim Slab

@@ -1,0 +1,1 @@
+lib/workloads/appmodel.mli: Env Sim Slab

@@ -1,0 +1,1 @@
+lib/workloads/endurance.ml: Env List Mem Printf Rcu Rcudata Sim Slab

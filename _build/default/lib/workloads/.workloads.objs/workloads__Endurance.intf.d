@@ -1,0 +1,1 @@
+lib/workloads/endurance.mli: Env

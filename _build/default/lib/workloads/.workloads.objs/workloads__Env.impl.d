@@ -1,0 +1,1 @@
+lib/workloads/env.ml: Array Mem Prudence Rcu Sim Slab

@@ -1,0 +1,1 @@
+lib/workloads/env.mli: Mem Prudence Rcu Sim Slab

@@ -1,0 +1,1 @@
+lib/workloads/postgresql.ml: Appmodel List Sim

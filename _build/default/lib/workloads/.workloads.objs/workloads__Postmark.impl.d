@@ -1,0 +1,1 @@
+lib/workloads/postmark.ml: Appmodel Sim

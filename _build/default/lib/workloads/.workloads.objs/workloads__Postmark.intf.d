@@ -1,0 +1,1 @@
+lib/workloads/postmark.mli: Appmodel

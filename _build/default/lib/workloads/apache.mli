@@ -1,0 +1,8 @@
+(** ApacheBench model (§5.3): each transaction is one HTTP request served
+    by Apache's event MPM — an accepted connection (filp) registered with
+    epoll (eventpoll_epi) and its selinux blob, all defer-freed at
+    connection close (epoll unregistration is RCU-deferred, §5.4); the
+    served file's filp and the header/buffer kmalloc-64 objects are freed
+    immediately. Tuned to the paper's ~18% deferred share (Fig. 12). *)
+
+val config : ?txns_per_cpu:int -> unit -> Appmodel.config

@@ -1,0 +1,197 @@
+type op =
+  | Acquire of string
+  | Release of string
+  | Release_deferred of string
+  | Release_newest of string
+  | Work of int
+
+type cache_spec = { cache_name : string; obj_size : int }
+
+type config = {
+  bench_name : string;
+  caches : cache_spec list;
+  standing : (string * int) list;
+      (* Objects acquired per CPU at startup and held for the whole run:
+         listening sockets, open connections, resident files. They make
+         end-of-run "requested bytes" non-zero, as in the paper's runs. *)
+  gen_txn : Sim.Rng.t -> op list;
+  txns_per_cpu : int;
+  think_ns_mean : float;
+}
+
+type cache_result = {
+  cache_name : string;
+  snap : Slab.Slab_stats.snapshot;
+  fragmentation : float;
+  lock_contended : int;
+  lock_wait_ns : int;
+}
+
+(* Running mean of a cache's fragmentation, sampled during the run (the
+   end-of-run pools can be empty, which would make the §4.2 ratio
+   undefined). *)
+type frag_meter = { mutable sum : float; mutable n : int }
+
+type result = {
+  label : string;
+  bench_name : string;
+  txns : int;
+  duration_ns : int;
+  throughput : float;
+  deferred_pct : float;
+  caches : cache_result list;
+  oom : bool;
+  safety_violations : int;
+}
+
+(* Per-CPU, per-cache pool of held objects: a deque so transactions can
+   release oldest-first (typical kernel lifetimes) or newest-first
+   (scratch buffers). *)
+type pool = (string, Slab.Frame.objekt Sim.Deque.t) Hashtbl.t
+
+let pool_for (pool : pool) name =
+  match Hashtbl.find_opt pool name with
+  | Some d -> d
+  | None ->
+      let d = Sim.Deque.create () in
+      Hashtbl.add pool name d;
+      d
+
+let run (env : Env.t) (cfg : config) =
+  let backend = env.Env.backend in
+  let caches =
+    List.map
+      (fun (spec : cache_spec) ->
+        ( spec.cache_name,
+          backend.Slab.Backend.create_cache ~name:spec.cache_name
+            ~obj_size:spec.obj_size ))
+      cfg.caches
+  in
+  let cache_by_name name =
+    match List.assoc_opt name caches with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Appmodel: unknown cache %s" name)
+  in
+  let ncpus = Sim.Machine.nr_cpus env.Env.machine in
+  let txns = ref 0 in
+  let oom = ref false in
+  let finish_times = ref [] in
+  let frag_meters =
+    List.map (fun (name, _) -> (name, { sum = 0.; n = 0 })) caches
+  in
+  Sim.Engine.every env.Env.eng ~period:1_000_000 (fun () ->
+      List.iter
+        (fun (name, cache) ->
+          let f = Slab.Frame.fragmentation cache in
+          if not (Float.is_nan f) then begin
+            let m = List.assoc name frag_meters in
+            m.sum <- m.sum +. f;
+            m.n <- m.n + 1
+          end)
+        caches;
+      true);
+  for i = 0 to ncpus - 1 do
+    let cpu = Env.cpu env i in
+    let rng = Sim.Rng.split env.Env.rng in
+    Sim.Process.spawn env.Env.eng (fun () ->
+        let pool : pool = Hashtbl.create 8 in
+        (try
+           List.iter
+             (fun (name, count) ->
+               let cache = cache_by_name name in
+               for _ = 1 to count do
+                 match backend.Slab.Backend.alloc cache cpu with
+                 | Some _obj -> () (* held for the whole run *)
+                 | None ->
+                     oom := true;
+                     raise Exit
+               done)
+             cfg.standing;
+           for _ = 1 to cfg.txns_per_cpu do
+             let ops = cfg.gen_txn rng in
+             List.iter
+               (fun op ->
+                 match op with
+                 | Acquire name -> (
+                     let cache = cache_by_name name in
+                     match backend.Slab.Backend.alloc cache cpu with
+                     | Some obj -> Sim.Deque.push_back (pool_for pool name) obj
+                     | None ->
+                         oom := true;
+                         raise Exit)
+                 | Release name -> (
+                     match Sim.Deque.pop_front (pool_for pool name) with
+                     | Some obj ->
+                         backend.Slab.Backend.free (cache_by_name name) cpu obj
+                     | None -> ())
+                 | Release_newest name -> (
+                     match Sim.Deque.pop_back (pool_for pool name) with
+                     | Some obj ->
+                         backend.Slab.Backend.free (cache_by_name name) cpu obj
+                     | None -> ())
+                 | Release_deferred name -> (
+                     match Sim.Deque.pop_front (pool_for pool name) with
+                     | Some obj ->
+                         backend.Slab.Backend.free_deferred (cache_by_name name)
+                           cpu obj
+                     | None -> ())
+                 | Work ns -> Sim.Machine.consume cpu ns)
+               ops;
+             incr txns;
+             (* Charge the transaction's accumulated cost, then think
+                (idle: pre-flush opportunity). *)
+             Sim.Process.sleep env.Env.eng (Sim.Machine.drain cpu);
+             let think =
+               int_of_float
+                 (Sim.Rng.exponential rng ~mean:cfg.think_ns_mean)
+             in
+             Sim.Machine.idle_sleep env.Env.machine cpu think
+           done
+         with Exit -> ());
+        finish_times := Sim.Engine.now env.Env.eng :: !finish_times)
+  done;
+  Sim.Engine.run_until_quiet env.Env.eng;
+  let duration = max 1 (List.fold_left max 0 !finish_times) in
+  (* Settle deferred objects before the end-of-run measurements (§5.4
+     measures fragmentation "after the completion of each run"). *)
+  Sim.Process.spawn env.Env.eng (fun () -> backend.Slab.Backend.settle ());
+  Sim.Engine.run_until_quiet env.Env.eng;
+  let total_frees, total_deferred =
+    List.fold_left
+      (fun (f, d) (_, cache) ->
+        let s = Slab.Slab_stats.snapshot cache.Slab.Frame.stats in
+        (f + s.Slab.Slab_stats.frees, d + s.Slab.Slab_stats.deferred_frees))
+      (0, 0) caches
+  in
+  {
+    label = backend.Slab.Backend.label;
+    bench_name = cfg.bench_name;
+    txns = !txns;
+    duration_ns = duration;
+    throughput = float_of_int !txns /. (float_of_int duration /. 1e9);
+    deferred_pct =
+      (if total_frees + total_deferred = 0 then 0.
+       else
+         100.
+         *. float_of_int total_deferred
+         /. float_of_int (total_frees + total_deferred));
+    caches =
+      List.map
+        (fun (name, cache) ->
+          let contended, wait = Env.node_lock_stats env cache in
+          let meter = List.assoc name frag_meters in
+          let sampled_frag =
+            if meter.n = 0 then Slab.Frame.fragmentation cache
+            else meter.sum /. float_of_int meter.n
+          in
+          {
+            cache_name = name;
+            snap = Slab.Slab_stats.snapshot cache.Slab.Frame.stats;
+            fragmentation = sampled_frag;
+            lock_contended = contended;
+            lock_wait_ns = wait;
+          })
+        caches;
+    oom = !oom;
+    safety_violations = List.length (Env.safety_violations env);
+  }

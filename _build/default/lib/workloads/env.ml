@@ -1,0 +1,96 @@
+type kind = Baseline | Prudence_alloc
+
+let kind_label = function Baseline -> "slub" | Prudence_alloc -> "prudence"
+
+let kind_of_string = function
+  | "slub" | "baseline" -> Some Baseline
+  | "prudence" -> Some Prudence_alloc
+  | _ -> None
+
+type config = {
+  kind : kind;
+  cpus : int;
+  nodes : int;
+  seed : int;
+  tick_ns : int;
+  total_pages : int;
+  rcu_config : Rcu.config;
+  prudence_config : Prudence.config;
+  costs : Slab.Costs.t;
+  track_readers : bool;
+}
+
+let default_config =
+  {
+    kind = Baseline;
+    cpus = 8;
+    nodes = 1;
+    seed = 42;
+    tick_ns = 1_000_000;
+    total_pages = 65_536;
+    rcu_config = Rcu.default_config;
+    prudence_config = Prudence.default_config;
+    costs = Slab.Costs.default;
+    track_readers = false;
+  }
+
+type t = {
+  cfg : config;
+  eng : Sim.Engine.t;
+  machine : Sim.Machine.t;
+  buddy : Mem.Buddy.t;
+  pressure : Mem.Pressure.t;
+  rcu : Rcu.t;
+  fenv : Slab.Frame.env;
+  readers : Rcu.Readers.t;
+  backend : Slab.Backend.t;
+  rng : Sim.Rng.t;
+}
+
+let build cfg =
+  let eng = Sim.Engine.create ~seed:cfg.seed () in
+  let machine =
+    Sim.Machine.create eng ~cpus:cfg.cpus ~nodes:cfg.nodes ~tick_ns:cfg.tick_ns
+      ()
+  in
+  Sim.Machine.start machine;
+  let buddy = Mem.Buddy.create ~total_pages:cfg.total_pages () in
+  let pressure = Mem.Pressure.create buddy () in
+  let rcu = Rcu.create ~config:cfg.rcu_config machine in
+  Rcu.attach_pressure rcu pressure;
+  let fenv = Slab.Frame.make_env ~pressure ~costs:cfg.costs machine buddy in
+  let readers = Rcu.Readers.create rcu in
+  if cfg.track_readers then
+    fenv.Slab.Frame.reuse_check <-
+      Some (fun oid -> Rcu.Readers.check_reusable readers ~oid ~where:"alloc");
+  let backend =
+    match cfg.kind with
+    | Baseline -> Slab.Slub.backend (Slab.Slub.create fenv rcu)
+    | Prudence_alloc ->
+        Prudence.backend (Prudence.create ~config:cfg.prudence_config fenv rcu)
+  in
+  {
+    cfg;
+    eng;
+    machine;
+    buddy;
+    pressure;
+    rcu;
+    fenv;
+    readers;
+    backend;
+    rng = Sim.Rng.split (Sim.Engine.rng eng);
+  }
+
+let cpu t i = Sim.Machine.cpu t.machine i
+
+let used_bytes t = Mem.Buddy.used_bytes t.buddy
+
+let node_lock_stats _t (cache : Slab.Frame.cache) =
+  Array.fold_left
+    (fun (c, w) (node : Slab.Frame.node) ->
+      ( c + Sim.Simlock.contended node.Slab.Frame.lock,
+        w + Sim.Simlock.total_wait_ns node.Slab.Frame.lock ))
+    (0, 0) cache.Slab.Frame.nodes
+
+let safety_violations t = Rcu.Readers.violations t.readers

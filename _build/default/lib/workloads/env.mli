@@ -1,0 +1,55 @@
+(** Builds the full simulated stack for one benchmark run: engine, machine,
+    buddy allocator, pressure, RCU, reader tracking, and the allocator
+    under test — the SLUB baseline or Prudence — behind one
+    {!Slab.Backend.t}. *)
+
+type kind = Baseline | Prudence_alloc
+
+val kind_label : kind -> string
+(** "slub" / "prudence". *)
+
+val kind_of_string : string -> kind option
+
+type config = {
+  kind : kind;
+  cpus : int;
+  nodes : int;
+  seed : int;
+  tick_ns : int;
+  total_pages : int;  (** Physical memory: pages of 4 KiB. *)
+  rcu_config : Rcu.config;
+  prudence_config : Prudence.config;
+  costs : Slab.Costs.t;
+  track_readers : bool;
+      (** Arm the premature-reuse safety checker (small overhead). *)
+}
+
+val default_config : config
+(** 8 CPUs, 1 node, 64k pages (256 MiB), default RCU/Prudence configs. *)
+
+type t = {
+  cfg : config;
+  eng : Sim.Engine.t;
+  machine : Sim.Machine.t;
+  buddy : Mem.Buddy.t;
+  pressure : Mem.Pressure.t;
+  rcu : Rcu.t;
+  fenv : Slab.Frame.env;
+  readers : Rcu.Readers.t;
+  backend : Slab.Backend.t;
+  rng : Sim.Rng.t;
+}
+
+val build : config -> t
+(** Construct and start the stack (machine ticks running, RCU attached to
+    pressure, reuse check wired when [track_readers]). *)
+
+val cpu : t -> int -> Sim.Machine.cpu
+
+val used_bytes : t -> int
+(** Total used physical memory right now (the Fig. 3 y-axis). *)
+
+val node_lock_stats : t -> Slab.Frame.cache -> int * int
+(** (contended acquisitions, total wait ns) summed over the cache's nodes. *)
+
+val safety_violations : t -> string list

@@ -1,0 +1,33 @@
+(** The paper's microbenchmark (Fig. 6): kmalloc()/kfree_deferred() pairs
+    in a tight loop on every CPU, per object size, reporting pairs executed
+    per (virtual) second. *)
+
+type config = {
+  pairs_per_cpu : int;  (** Paper: 5M; scaled down by default. *)
+  obj_size : int;
+  ops_per_quantum : int;
+      (** Loop iterations executed between virtual-time syncs (granularity
+          / speed trade-off; does not change totals). *)
+  op_work_ns : int;
+      (** Non-allocator work per pair (list update etc.). *)
+}
+
+val default_config : config
+
+type result = {
+  label : string;
+  obj_size : int;
+  pairs : int;  (** Pairs actually completed (lower on OOM). *)
+  duration_ns : int;
+  pairs_per_sec : float;
+  oom : bool;
+  snap : Slab.Slab_stats.snapshot;
+  lock_contended : int;
+  lock_wait_ns : int;
+  rcu : Rcu.stats;
+}
+
+val run : Env.t -> config -> result
+(** Runs to completion (or OOM), settles outstanding deferred objects, and
+    reports. The pairs/second figure excludes the settle phase, as in the
+    paper (which measures the loop itself). *)

@@ -1,0 +1,8 @@
+(** Netperf TCP_CRR model (§5.3): each transaction is a TCP
+    connect/request/response/close cycle — a socket file (filp) and its
+    selinux blob allocated at accept and defer-freed at teardown (socket
+    files are RCU-freed), plus a burst of kmalloc-256 packet buffers that
+    are allocated and freed immediately. Tuned to the paper's ~14%
+    deferred share (Fig. 12). *)
+
+val config : ?txns_per_cpu:int -> unit -> Appmodel.config

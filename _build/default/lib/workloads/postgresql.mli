@@ -1,0 +1,11 @@
+(** pgbench/PostgreSQL model (§5.3): TPC-B-style transactions dominated by
+    regular (non-deferred) kmalloc-64 allocator traffic — the paper notes
+    PostgreSQL "triggers several free operations outside the context of
+    deferred frees on the kmalloc-64 slab cache", which interferes with
+    Prudence's latent-cache decisions and is why its kmalloc-64
+    object-cache churn regresses slightly (Fig. 8). A small deferred
+    stream (one RCU-published kmalloc-64 object per transaction, plus
+    connection-churn filp/selinux) yields the paper's ~4.4% deferred share
+    (Fig. 12). *)
+
+val config : ?txns_per_cpu:int -> unit -> Appmodel.config

@@ -1,0 +1,9 @@
+(** Postmark model (§5.3): a mail-server file workload — file create,
+    read/append and delete transactions stressing ext4_inode, dentry, filp,
+    selinux and kmalloc-64. Deletions defer-free the dentry, inode and
+    selinux objects (unlink is RCU-deferred in the kernel); the mix is
+    tuned to the paper's ~24.4% deferred-free share (Fig. 12), the highest
+    of the four benchmarks. Files created but not yet deleted accumulate,
+    as in a growing mail spool. *)
+
+val config : ?txns_per_cpu:int -> unit -> Appmodel.config

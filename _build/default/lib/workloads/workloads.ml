@@ -1,0 +1,10 @@
+(** Facade: benchmark environment and the paper's workload models. *)
+
+module Env = Env
+module Microbench = Microbench
+module Endurance = Endurance
+module Appmodel = Appmodel
+module Postmark = Postmark
+module Netperf = Netperf
+module Apache = Apache
+module Postgresql = Postgresql

@@ -1,0 +1,1 @@
+test/test_cblist.ml: Alcotest List Rcu

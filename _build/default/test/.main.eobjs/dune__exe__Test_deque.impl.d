@@ -1,0 +1,1 @@
+test/test_deque.ml: Alcotest List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_dlist.ml: Alcotest List QCheck QCheck_alcotest Sim

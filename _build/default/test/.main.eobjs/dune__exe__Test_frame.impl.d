@@ -1,0 +1,1 @@
+test/test_frame.ml: Alcotest Float List Mem Option Sim Slab Test_util

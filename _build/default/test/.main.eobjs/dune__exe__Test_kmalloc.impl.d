@@ -1,0 +1,1 @@
+test/test_kmalloc.ml: Alcotest Option Prudence Rcu Sim Slab Test_util

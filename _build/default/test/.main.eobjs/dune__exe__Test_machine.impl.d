@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Hashtbl Sim Test_util

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Format List Metrics Printf String

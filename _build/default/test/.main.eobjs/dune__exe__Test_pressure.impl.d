@@ -1,0 +1,1 @@
+test/test_pressure.ml: Alcotest List Mem

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Gen List Option Printf Prudence QCheck QCheck_alcotest Rcu Rcudata Sim Slab Test_util Workloads

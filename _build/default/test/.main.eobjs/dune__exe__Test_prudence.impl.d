@@ -1,0 +1,1 @@
+test/test_prudence.ml: Alcotest Clock List Option Printf Prudence QCheck QCheck_alcotest Rcu Sim Slab Test_util

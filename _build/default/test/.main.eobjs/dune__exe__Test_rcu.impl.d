@@ -1,0 +1,1 @@
+test/test_rcu.ml: Alcotest Clock List Printf Rcu Sim Test_util

@@ -1,0 +1,1 @@
+test/test_rcudata.ml: Alcotest Clock Prudence Rcu Rcudata Sim Slab Test_util

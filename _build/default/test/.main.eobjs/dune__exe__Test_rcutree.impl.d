@@ -1,0 +1,1 @@
+test/test_rcutree.ml: Alcotest Hashtbl List Prudence QCheck QCheck_alcotest Rcu Rcudata Sim Slab Test_util

@@ -1,0 +1,1 @@
+test/test_readers.ml: Alcotest Clock List Rcu Sim Test_util

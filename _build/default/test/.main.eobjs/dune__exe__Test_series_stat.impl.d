@@ -1,0 +1,1 @@
+test/test_series_stat.ml: Alcotest Array Sim

@@ -1,0 +1,1 @@
+test/test_simlock.ml: Alcotest List QCheck QCheck_alcotest Sim

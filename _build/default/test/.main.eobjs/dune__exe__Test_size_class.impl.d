@@ -1,0 +1,1 @@
+test/test_size_class.ml: Alcotest Array Printf Slab

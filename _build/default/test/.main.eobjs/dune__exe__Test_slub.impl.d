@@ -1,0 +1,1 @@
+test/test_slub.ml: Alcotest Clock List Mem Option QCheck QCheck_alcotest Rcu Sim Slab Test_util

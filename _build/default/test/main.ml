@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "prudence-repro"
+    [
+      ("sim.heap", Test_heap.suite);
+      ("sim.rng", Test_rng.suite);
+      ("sim.engine", Test_engine.suite);
+      ("sim.process", Test_process.suite);
+      ("sim.simlock", Test_simlock.suite);
+      ("sim.dlist", Test_dlist.suite);
+      ("sim.deque", Test_deque.suite);
+      ("sim.machine", Test_machine.suite);
+      ("sim.series+stat", Test_series_stat.suite);
+      ("mem.buddy", Test_buddy.suite);
+      ("mem.pressure", Test_pressure.suite);
+      ("rcu.cblist", Test_cblist.suite);
+      ("rcu.gp", Test_rcu.suite);
+      ("rcu.readers", Test_readers.suite);
+      ("slab.size_class+costs", Test_size_class.suite);
+      ("slab.frame", Test_frame.suite);
+      ("slab.slub", Test_slub.suite);
+      ("slab.kmalloc", Test_kmalloc.suite);
+      ("prudence", Test_prudence.suite);
+      ("rcudata", Test_rcudata.suite);
+      ("rcudata.tree", Test_rcutree.suite);
+      ("metrics", Test_metrics.suite);
+      ("workloads", Test_workloads.suite);
+      ("integration", Test_integration.suite);
+      ("experiments", Test_experiments.suite);
+      ("properties", Test_properties.suite);
+    ]

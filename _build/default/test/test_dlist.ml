@@ -1,0 +1,128 @@
+let test_push_iterate () =
+  let l = Sim.Dlist.create () in
+  ignore (Sim.Dlist.push_back l 1);
+  ignore (Sim.Dlist.push_back l 2);
+  ignore (Sim.Dlist.push_front l 0);
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Sim.Dlist.to_list l);
+  Alcotest.(check int) "length" 3 (Sim.Dlist.length l)
+
+let test_remove_middle () =
+  let l = Sim.Dlist.create () in
+  let _a = Sim.Dlist.push_back l "a" in
+  let b = Sim.Dlist.push_back l "b" in
+  let _c = Sim.Dlist.push_back l "c" in
+  Sim.Dlist.remove l b;
+  Alcotest.(check (list string)) "middle removed" [ "a"; "c" ]
+    (Sim.Dlist.to_list l)
+
+let test_remove_ends () =
+  let l = Sim.Dlist.create () in
+  let a = Sim.Dlist.push_back l 1 in
+  let _b = Sim.Dlist.push_back l 2 in
+  let c = Sim.Dlist.push_back l 3 in
+  Sim.Dlist.remove l a;
+  Sim.Dlist.remove l c;
+  Alcotest.(check (list int)) "ends removed" [ 2 ] (Sim.Dlist.to_list l)
+
+let test_remove_only_element () =
+  let l = Sim.Dlist.create () in
+  let a = Sim.Dlist.push_back l 9 in
+  Sim.Dlist.remove l a;
+  Alcotest.(check bool) "empty" true (Sim.Dlist.is_empty l);
+  ignore (Sim.Dlist.push_back l 10);
+  Alcotest.(check (list int)) "usable after emptying" [ 10 ]
+    (Sim.Dlist.to_list l)
+
+let test_double_remove_rejected () =
+  let l = Sim.Dlist.create () in
+  let a = Sim.Dlist.push_back l 1 in
+  Sim.Dlist.remove l a;
+  (try
+     Sim.Dlist.remove l a;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_remove_foreign_rejected () =
+  let l1 = Sim.Dlist.create () in
+  let l2 = Sim.Dlist.create () in
+  let a = Sim.Dlist.push_back l1 1 in
+  (try
+     Sim.Dlist.remove l2 a;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_pop_front () =
+  let l = Sim.Dlist.create () in
+  ignore (Sim.Dlist.push_back l 1);
+  ignore (Sim.Dlist.push_back l 2);
+  Alcotest.(check (option int)) "peek" (Some 1) (Sim.Dlist.peek_front l);
+  Alcotest.(check (option int)) "pop" (Some 1) (Sim.Dlist.pop_front l);
+  Alcotest.(check (option int)) "pop" (Some 2) (Sim.Dlist.pop_front l);
+  Alcotest.(check (option int)) "empty pop" None (Sim.Dlist.pop_front l)
+
+let test_first_n () =
+  let l = Sim.Dlist.create () in
+  List.iter (fun x -> ignore (Sim.Dlist.push_back l x)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "first 3" [ 1; 2; 3 ] (Sim.Dlist.first_n l 3);
+  Alcotest.(check (list int)) "first 10 clamps" [ 1; 2; 3; 4; 5 ]
+    (Sim.Dlist.first_n l 10);
+  Alcotest.(check (list int)) "first 0" [] (Sim.Dlist.first_n l 0)
+
+let test_fold_exists () =
+  let l = Sim.Dlist.create () in
+  List.iter (fun x -> ignore (Sim.Dlist.push_back l x)) [ 1; 2; 3 ];
+  Alcotest.(check int) "fold sum" 6 (Sim.Dlist.fold ( + ) 0 l);
+  Alcotest.(check bool) "exists" true (Sim.Dlist.exists (fun x -> x = 2) l);
+  Alcotest.(check bool) "not exists" false (Sim.Dlist.exists (fun x -> x = 9) l)
+
+let prop_model_check =
+  QCheck.Test.make ~name:"dlist behaves like a list under random ops"
+    ~count:300
+    QCheck.(list (pair (int_bound 2) small_int))
+    (fun ops ->
+      let l = Sim.Dlist.create () in
+      let handles = ref [] in
+      let model = ref [] in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+              handles := !handles @ [ Sim.Dlist.push_back l v ];
+              model := !model @ [ v ]
+          | 1 ->
+              handles := Sim.Dlist.push_front l v :: !handles;
+              model := v :: !model
+          | _ -> (
+              match !handles with
+              | [] -> ()
+              | h :: rest ->
+                  let v = Sim.Dlist.value h in
+                  Sim.Dlist.remove l h;
+                  handles := rest;
+                  let rec remove_one = function
+                    | [] -> []
+                    | x :: r when x = v -> r
+                    | x :: r -> x :: remove_one r
+                  in
+                  model := remove_one !model))
+        ops;
+      (* The model is order-correct only for multiset equality here because
+         handle-removal order is arbitrary; compare sorted. *)
+      List.sort compare (Sim.Dlist.to_list l) = List.sort compare !model
+      && Sim.Dlist.length l = List.length !model)
+
+let suite =
+  [
+    Alcotest.test_case "push and iterate" `Quick test_push_iterate;
+    Alcotest.test_case "remove middle" `Quick test_remove_middle;
+    Alcotest.test_case "remove ends" `Quick test_remove_ends;
+    Alcotest.test_case "remove only element" `Quick test_remove_only_element;
+    Alcotest.test_case "double remove rejected" `Quick
+      test_double_remove_rejected;
+    Alcotest.test_case "foreign remove rejected" `Quick
+      test_remove_foreign_rejected;
+    Alcotest.test_case "pop_front" `Quick test_pop_front;
+    Alcotest.test_case "first_n" `Quick test_first_n;
+    Alcotest.test_case "fold/exists" `Quick test_fold_exists;
+    QCheck_alcotest.to_alcotest prop_model_check;
+  ]

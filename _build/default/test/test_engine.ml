@@ -1,0 +1,130 @@
+let test_schedule_order () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.Engine.schedule eng ~after:30 (note "c"));
+  ignore (Sim.Engine.schedule eng ~after:10 (note "a"));
+  ignore (Sim.Engine.schedule eng ~after:20 (note "b"));
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_fifo_same_time () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule eng ~after:100 (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "FIFO at same instant" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_now_advances () =
+  let eng = Sim.Engine.create () in
+  let seen = ref (-1) in
+  ignore (Sim.Engine.schedule eng ~after:500 (fun () -> seen := Sim.Engine.now eng));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "now at event time" 500 !seen;
+  Alcotest.(check int) "now after run" 500 (Sim.Engine.now eng)
+
+let test_until_horizon () =
+  let eng = Sim.Engine.create () in
+  let ran = ref false in
+  ignore (Sim.Engine.schedule eng ~after:1_000 (fun () -> ran := true));
+  Sim.Engine.run ~until:999 eng;
+  Alcotest.(check bool) "event beyond horizon not run" false !ran;
+  Alcotest.(check int) "clock advanced to horizon" 999 (Sim.Engine.now eng);
+  Sim.Engine.run ~until:1_001 eng;
+  Alcotest.(check bool) "event runs later" true !ran
+
+let test_cancel () =
+  let eng = Sim.Engine.create () in
+  let ran = ref false in
+  let h = Sim.Engine.schedule eng ~after:10 (fun () -> ran := true) in
+  Sim.Engine.cancel h;
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "cancelled event skipped" false !ran
+
+let test_stop () =
+  let eng = Sim.Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Sim.Engine.schedule eng ~after:10 (fun () ->
+           incr count;
+           if !count = 3 then Sim.Engine.stop eng))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "stopped after third event" 3 !count;
+  Alcotest.(check bool) "stopped flag" true (Sim.Engine.stopped eng)
+
+let test_nested_scheduling () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule eng ~after:10 (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sim.Engine.schedule eng ~after:5 (fun () -> log := "inner" :: !log))));
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "final time" 15 (Sim.Engine.now eng)
+
+let test_negative_delay_rejected () =
+  let eng = Sim.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Sim.Engine.schedule eng ~after:(-1) ignore))
+
+let test_schedule_at_past_rejected () =
+  let eng = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule eng ~after:100 ignore);
+  Sim.Engine.run eng;
+  (try
+     ignore (Sim.Engine.schedule_at eng ~time:50 ignore);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_every_periodic () =
+  let eng = Sim.Engine.create () in
+  let times = ref [] in
+  Sim.Engine.every eng ~period:100 (fun () ->
+      times := Sim.Engine.now eng :: !times;
+      List.length !times < 4);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "periodic firings" [ 100; 200; 300; 400 ]
+    (List.rev !times)
+
+let test_every_phase () =
+  let eng = Sim.Engine.create () in
+  let times = ref [] in
+  Sim.Engine.every eng ~period:100 ~phase:7 (fun () ->
+      times := Sim.Engine.now eng :: !times;
+      List.length !times < 3);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "phased firings" [ 7; 107; 207 ] (List.rev !times)
+
+let test_executed_counter () =
+  let eng = Sim.Engine.create () in
+  for _ = 1 to 7 do
+    ignore (Sim.Engine.schedule eng ~after:1 ignore)
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "executed" 7 (Sim.Engine.executed eng)
+
+let suite =
+  [
+    Alcotest.test_case "events run in time order" `Quick test_schedule_order;
+    Alcotest.test_case "FIFO at equal times" `Quick test_fifo_same_time;
+    Alcotest.test_case "clock advances" `Quick test_now_advances;
+    Alcotest.test_case "run ~until horizon" `Quick test_until_horizon;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "negative delay rejected" `Quick
+      test_negative_delay_rejected;
+    Alcotest.test_case "schedule_at past rejected" `Quick
+      test_schedule_at_past_rejected;
+    Alcotest.test_case "every: periodic" `Quick test_every_periodic;
+    Alcotest.test_case "every: phase" `Quick test_every_phase;
+    Alcotest.test_case "executed counter" `Quick test_executed_counter;
+  ]

@@ -1,0 +1,109 @@
+let int_heap () = Sim.Heap.create ~cmp:compare ()
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check int) "empty length" 0 (Sim.Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Sim.Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Sim.Heap.pop h)
+
+let test_push_pop_ordering () =
+  let h = int_heap () in
+  List.iter (Sim.Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  Alcotest.(check int) "length" 7 (Sim.Heap.length h);
+  Alcotest.(check (list int))
+    "sorted drain" [ 0; 1; 1; 3; 4; 5; 9 ]
+    (Sim.Heap.to_sorted_list h);
+  Alcotest.(check int) "drained" 0 (Sim.Heap.length h)
+
+let test_peek_does_not_remove () =
+  let h = int_heap () in
+  Sim.Heap.push h 2;
+  Sim.Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Sim.Heap.peek h);
+  Alcotest.(check int) "length unchanged" 2 (Sim.Heap.length h)
+
+let test_pop_exn () =
+  let h = int_heap () in
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Sim.Heap.pop_exn h));
+  Sim.Heap.push h 7;
+  Alcotest.(check int) "pop_exn" 7 (Sim.Heap.pop_exn h)
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Sim.Heap.push h) [ 3; 2; 1 ];
+  Sim.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Sim.Heap.length h);
+  Sim.Heap.push h 42;
+  Alcotest.(check (option int)) "usable after clear" (Some 42) (Sim.Heap.pop h)
+
+let test_iter_counts () =
+  let h = int_heap () in
+  List.iter (Sim.Heap.push h) [ 4; 8; 15; 16; 23; 42 ];
+  let sum = ref 0 in
+  Sim.Heap.iter (fun x -> sum := !sum + x) h;
+  Alcotest.(check int) "iter sums all" 108 !sum
+
+let test_custom_order () =
+  let h = Sim.Heap.create ~cmp:(fun a b -> compare b a) () in
+  List.iter (Sim.Heap.push h) [ 1; 3; 2 ];
+  Alcotest.(check (list int)) "max-heap drain" [ 3; 2; 1 ]
+    (Sim.Heap.to_sorted_list h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Sim.Heap.push h) xs;
+      Sim.Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_interleaved_push_pop =
+  QCheck.Test.make ~name:"interleaved push/pop returns global minimum"
+    ~count:200
+    QCheck.(list (pair int bool))
+    (fun ops ->
+      let h = int_heap () in
+      let model = ref [] in
+      let remove_one v l =
+        let rec go = function
+          | [] -> []
+          | y :: rest when y = v -> rest
+          | y :: rest -> y :: go rest
+        in
+        go l
+      in
+      List.for_all
+        (fun (x, pop) ->
+          if pop then begin
+            let expect =
+              match List.sort compare !model with [] -> None | m :: _ -> Some m
+            in
+            match (expect, Sim.Heap.pop h) with
+            | None, None -> true
+            | Some e, Some g when e = g ->
+                model := remove_one g !model;
+                true
+            | _ -> false
+          end
+          else begin
+            Sim.Heap.push h x;
+            model := x :: !model;
+            true
+          end)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "push/pop ordering" `Quick test_push_pop_ordering;
+    Alcotest.test_case "peek does not remove" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "pop_exn" `Quick test_pop_exn;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "iter visits all" `Quick test_iter_counts;
+    Alcotest.test_case "custom comparison" `Quick test_custom_order;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_interleaved_push_pop;
+  ]

@@ -1,0 +1,79 @@
+open Test_util
+module Frame = Slab.Frame
+
+let make () =
+  let env = make_env ~cpus:2 () in
+  let slub = Slab.Slub.create env.fenv env.rcu in
+  (env, Slab.Kmalloc.create (Slab.Slub.backend slub))
+
+let test_routes_to_class_cache () =
+  let env, km = make () in
+  let c = cpu0 env in
+  let obj = Option.get (Slab.Kmalloc.alloc km c ~size:50) in
+  Alcotest.(check string) "rounded to kmalloc-64" "kmalloc-64"
+    obj.Frame.parent.Frame.cache.Frame.name;
+  Alcotest.(check int) "class object size" 64
+    obj.Frame.parent.Frame.cache.Frame.obj_size;
+  Slab.Kmalloc.free km c obj
+
+let test_caches_shared_per_class () =
+  let _env, km = make () in
+  let c1 = Slab.Kmalloc.cache_for km ~size:100 in
+  let c2 = Slab.Kmalloc.cache_for km ~size:128 in
+  Alcotest.(check bool) "same class cache" true (c1 == c2);
+  let c3 = Slab.Kmalloc.cache_for km ~size:129 in
+  Alcotest.(check bool) "next class differs" true (c1 != c3)
+
+let test_free_finds_owner_cache () =
+  let env, km = make () in
+  let c = cpu0 env in
+  let small = Option.get (Slab.Kmalloc.alloc km c ~size:8) in
+  let big = Option.get (Slab.Kmalloc.alloc km c ~size:4096) in
+  (* kfree with no cache argument routes by the object's parent. *)
+  Slab.Kmalloc.free km c big;
+  Slab.Kmalloc.free km c small;
+  Slab.Kmalloc.iter_caches km (fun cache ->
+      Frame.check_invariants cache;
+      Alcotest.(check int)
+        (cache.Frame.name ^ " live")
+        0
+        (Frame.live_objects cache))
+
+let test_deferred_via_kmalloc () =
+  let env, km = make () in
+  let c = cpu0 env in
+  let obj = Option.get (Slab.Kmalloc.alloc km c ~size:512) in
+  Slab.Kmalloc.free_deferred km c obj;
+  Alcotest.(check int) "one rcu callback" 1 (Rcu.pending_callbacks env.rcu);
+  Sim.Engine.run ~until:(Sim.Clock.ms 30) env.eng;
+  Alcotest.(check int) "reclaimed" 0 (Rcu.pending_callbacks env.rcu)
+
+let test_oversize_rejected () =
+  let env, km = make () in
+  let c = cpu0 env in
+  try
+    ignore (Slab.Kmalloc.alloc km c ~size:10_000);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_over_prudence_backend () =
+  let env = make_env ~cpus:2 () in
+  let pr = Prudence.create env.fenv env.rcu in
+  let km = Slab.Kmalloc.create (Prudence.backend pr) in
+  let c = cpu0 env in
+  let obj = Option.get (Slab.Kmalloc.alloc km c ~size:256) in
+  Slab.Kmalloc.free_deferred km c obj;
+  Alcotest.(check bool) "went latent, not to rcu" true
+    (obj.Frame.ostate = Frame.In_latent_cache
+    && Rcu.pending_callbacks env.rcu = 0)
+
+let suite =
+  [
+    Alcotest.test_case "routes to class cache" `Quick test_routes_to_class_cache;
+    Alcotest.test_case "class caches shared" `Quick test_caches_shared_per_class;
+    Alcotest.test_case "free finds owner cache" `Quick
+      test_free_finds_owner_cache;
+    Alcotest.test_case "deferred via kmalloc" `Quick test_deferred_via_kmalloc;
+    Alcotest.test_case "oversize rejected" `Quick test_oversize_rejected;
+    Alcotest.test_case "over prudence backend" `Quick test_over_prudence_backend;
+  ]

@@ -1,0 +1,100 @@
+let test_topology () =
+  let _eng, m = Test_util.make_sim ~cpus:8 ~nodes:2 () in
+  Alcotest.(check int) "cpus" 8 (Sim.Machine.nr_cpus m);
+  Alcotest.(check int) "nodes" 2 (Sim.Machine.nr_nodes m);
+  Alcotest.(check int) "cpu0 on node 0" 0 (Sim.Machine.node_of_cpu m 0);
+  Alcotest.(check int) "cpu3 on node 0" 0 (Sim.Machine.node_of_cpu m 3);
+  Alcotest.(check int) "cpu4 on node 1" 1 (Sim.Machine.node_of_cpu m 4);
+  Alcotest.(check int) "cpu7 on node 1" 1 (Sim.Machine.node_of_cpu m 7)
+
+let test_ticks_deliver_context_switches () =
+  let eng, m = Test_util.make_sim ~cpus:2 ~tick_ns:1_000_000 () in
+  let switches = ref 0 in
+  Sim.Machine.on_context_switch m (fun _cpu -> incr switches);
+  Sim.Engine.run ~until:10_500_000 eng;
+  (* ~10 ticks per cpu over 10.5ms *)
+  if !switches < 18 || !switches > 22 then
+    Alcotest.failf "unexpected context switch count: %d" !switches
+
+let test_ticks_staggered () =
+  let eng, m = Test_util.make_sim ~cpus:4 ~tick_ns:1_000_000 () in
+  let times = Hashtbl.create 16 in
+  Sim.Machine.on_context_switch m (fun cpu ->
+      if cpu.Sim.Machine.id >= 0 && not (Hashtbl.mem times cpu.Sim.Machine.id)
+      then Hashtbl.add times cpu.Sim.Machine.id (Sim.Engine.now eng));
+  Sim.Engine.run ~until:3_000_000 eng;
+  let t0 = Hashtbl.find times 0 and t1 = Hashtbl.find times 1 in
+  Alcotest.(check bool) "cpus tick at different instants" true (t0 <> t1)
+
+let test_rcu_nesting_suppresses_switch () =
+  let eng, m = Test_util.make_sim ~cpus:1 ~tick_ns:1_000_000 () in
+  let switches = ref 0 in
+  Sim.Machine.on_context_switch m (fun _ -> incr switches);
+  let c = Sim.Machine.cpu m 0 in
+  c.Sim.Machine.rcu_nesting <- 1;
+  Sim.Engine.run ~until:5_500_000 eng;
+  Alcotest.(check int) "no switches inside critical section" 0 !switches;
+  c.Sim.Machine.rcu_nesting <- 0;
+  Sim.Engine.run ~until:8_500_000 eng;
+  Alcotest.(check bool) "switches resume" true (!switches > 0)
+
+let test_consume_drain () =
+  let _eng, m = Test_util.make_sim ~cpus:1 () in
+  let c = Sim.Machine.cpu m 0 in
+  Sim.Machine.consume c 100;
+  Sim.Machine.consume c 250;
+  Alcotest.(check int) "drain totals" 350 (Sim.Machine.drain c);
+  Alcotest.(check int) "drain clears" 0 (Sim.Machine.drain c)
+
+let test_idle_work_runs_on_idle () =
+  let eng, m = Test_util.make_sim ~cpus:1 () in
+  let c = Sim.Machine.cpu m 0 in
+  let ran_at = ref (-1) in
+  Sim.Machine.submit_idle m c (fun () -> ran_at := Sim.Engine.now eng);
+  Sim.Process.spawn eng (fun () ->
+      Sim.Process.sleep eng 1_000;
+      (* busy until here; now go idle *)
+      Sim.Machine.idle_sleep m c 2_000);
+  Sim.Engine.run ~until:10_000 eng;
+  Alcotest.(check int) "idle work ran at idle entry" 1_000 !ran_at
+
+let test_idle_work_immediate_when_idle () =
+  let eng, m = Test_util.make_sim ~cpus:1 () in
+  let c = Sim.Machine.cpu m 0 in
+  let ran = ref false in
+  Sim.Process.spawn eng (fun () ->
+      Sim.Machine.idle_sleep m c 5_000);
+  Sim.Engine.run ~until:1_000 eng;
+  (* CPU is inside its idle window now *)
+  Alcotest.(check bool) "cpu idle" true (Sim.Machine.is_idle c);
+  Sim.Machine.submit_idle m c (fun () -> ran := true);
+  Alcotest.(check bool) "ran immediately" true !ran;
+  Sim.Engine.run ~until:6_000 eng;
+  Alcotest.(check bool) "busy after window" false (Sim.Machine.is_idle c)
+
+let test_invalid_configs () =
+  let eng = Sim.Engine.create () in
+  (try
+     ignore (Sim.Machine.create eng ~cpus:0 ());
+     Alcotest.fail "expected failure for 0 cpus"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Sim.Machine.create eng ~cpus:2 ~nodes:3 ());
+    Alcotest.fail "expected failure for nodes > cpus"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "topology" `Quick test_topology;
+    Alcotest.test_case "ticks deliver context switches" `Quick
+      test_ticks_deliver_context_switches;
+    Alcotest.test_case "ticks staggered" `Quick test_ticks_staggered;
+    Alcotest.test_case "read-side nesting suppresses switches" `Quick
+      test_rcu_nesting_suppresses_switch;
+    Alcotest.test_case "consume/drain" `Quick test_consume_drain;
+    Alcotest.test_case "idle work runs on idle" `Quick
+      test_idle_work_runs_on_idle;
+    Alcotest.test_case "idle work immediate when idle" `Quick
+      test_idle_work_immediate_when_idle;
+    Alcotest.test_case "invalid configs rejected" `Quick test_invalid_configs;
+  ]

@@ -1,0 +1,69 @@
+let make () =
+  let b = Mem.Buddy.create ~total_pages:100 () in
+  let p = Mem.Pressure.create b ~low_ratio:0.25 ~critical_ratio:0.10 () in
+  (b, p)
+
+let test_levels () =
+  let b, p = make () in
+  Alcotest.(check bool) "normal initially" true (Mem.Pressure.level p = Mem.Pressure.Normal);
+  (* Use 76 pages -> 24 free <= 25 low watermark *)
+  let blocks = List.init 76 (fun _ -> Mem.Buddy.alloc_exn b ~order:0) in
+  Alcotest.(check bool) "low" true (Mem.Pressure.level p = Mem.Pressure.Low);
+  let more = List.init 15 (fun _ -> Mem.Buddy.alloc_exn b ~order:0) in
+  Alcotest.(check bool) "critical" true
+    (Mem.Pressure.level p = Mem.Pressure.Critical);
+  List.iter (Mem.Buddy.free b) (blocks @ more);
+  Alcotest.(check bool) "normal again" true
+    (Mem.Pressure.level p = Mem.Pressure.Normal)
+
+let test_notifier_on_transition () =
+  let b, p = make () in
+  let log = ref [] in
+  Mem.Pressure.on_level_change p (fun l -> log := l :: !log);
+  let blocks = List.init 80 (fun _ -> Mem.Buddy.alloc_exn b ~order:0) in
+  Mem.Pressure.poll p;
+  Mem.Pressure.poll p;
+  (* second poll: no change, no duplicate notification *)
+  Alcotest.(check int) "one transition" 1 (List.length !log);
+  List.iter (Mem.Buddy.free b) blocks;
+  Mem.Pressure.poll p;
+  Alcotest.(check int) "back transition" 2 (List.length !log);
+  Alcotest.(check bool) "last is normal" true
+    (List.hd !log = Mem.Pressure.Normal)
+
+let test_oom_chain () =
+  let _b, p = make () in
+  let calls = ref [] in
+  Mem.Pressure.on_oom p (fun () ->
+      calls := 1 :: !calls;
+      false);
+  Mem.Pressure.on_oom p (fun () ->
+      calls := 2 :: !calls;
+      true);
+  Alcotest.(check bool) "retry requested" true
+    (Mem.Pressure.handle_alloc_failure p);
+  Alcotest.(check (list int)) "handlers in order" [ 1; 2 ] (List.rev !calls)
+
+let test_oom_chain_all_fail () =
+  let _b, p = make () in
+  Mem.Pressure.on_oom p (fun () -> false);
+  Alcotest.(check bool) "no retry" false (Mem.Pressure.handle_alloc_failure p)
+
+let test_declare_oom_first_wins () =
+  let _b, p = make () in
+  Alcotest.(check bool) "no oom yet" false (Mem.Pressure.oom_hit p);
+  Mem.Pressure.declare_oom p ~now:123;
+  Mem.Pressure.declare_oom p ~now:456;
+  Alcotest.(check (option int)) "first wins" (Some 123) (Mem.Pressure.oom_time p);
+  Alcotest.(check bool) "oom hit" true (Mem.Pressure.oom_hit p)
+
+let suite =
+  [
+    Alcotest.test_case "watermark levels" `Quick test_levels;
+    Alcotest.test_case "notifier on transition only" `Quick
+      test_notifier_on_transition;
+    Alcotest.test_case "oom handler chain" `Quick test_oom_chain;
+    Alcotest.test_case "oom chain all fail" `Quick test_oom_chain_all_fail;
+    Alcotest.test_case "declare_oom first wins" `Quick
+      test_declare_oom_first_wins;
+  ]

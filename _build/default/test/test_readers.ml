@@ -1,0 +1,92 @@
+open Test_util
+
+let test_hold_release () =
+  let env = make_env ~cpus:2 () in
+  let readers = Rcu.Readers.create env.rcu in
+  let c = cpu0 env in
+  Rcu.Readers.enter readers c;
+  Rcu.Readers.hold readers c ~oid:42;
+  Alcotest.(check int) "refcount" 1 (Rcu.Readers.refcount readers ~oid:42);
+  Rcu.Readers.release readers c ~oid:42;
+  Alcotest.(check int) "released" 0 (Rcu.Readers.refcount readers ~oid:42);
+  Rcu.Readers.exit readers c;
+  Alcotest.(check (list string)) "no violations" []
+    (Rcu.Readers.violations readers)
+
+let test_exit_drops_refs () =
+  let env = make_env ~cpus:2 () in
+  let readers = Rcu.Readers.create env.rcu in
+  let c = cpu0 env in
+  Rcu.Readers.enter readers c;
+  Rcu.Readers.hold readers c ~oid:1;
+  Rcu.Readers.hold readers c ~oid:1;
+  Rcu.Readers.hold readers c ~oid:2;
+  Rcu.Readers.exit readers c;
+  Alcotest.(check int) "oid 1 dropped" 0 (Rcu.Readers.refcount readers ~oid:1);
+  Alcotest.(check int) "oid 2 dropped" 0 (Rcu.Readers.refcount readers ~oid:2)
+
+let test_hold_outside_section_flagged () =
+  let env = make_env ~cpus:2 () in
+  let readers = Rcu.Readers.create env.rcu in
+  Rcu.Readers.hold readers (cpu0 env) ~oid:7;
+  Alcotest.(check int) "violation recorded" 1
+    (List.length (Rcu.Readers.violations readers))
+
+let test_release_unheld_flagged () =
+  let env = make_env ~cpus:2 () in
+  let readers = Rcu.Readers.create env.rcu in
+  let c = cpu0 env in
+  Rcu.Readers.enter readers c;
+  Rcu.Readers.release readers c ~oid:9;
+  Rcu.Readers.exit readers c;
+  Alcotest.(check int) "violation recorded" 1
+    (List.length (Rcu.Readers.violations readers))
+
+let test_check_reusable () =
+  let env = make_env ~cpus:2 () in
+  let readers = Rcu.Readers.create env.rcu in
+  let c = cpu0 env in
+  Rcu.Readers.check_reusable readers ~oid:5 ~where:"alloc";
+  Alcotest.(check (list string)) "clean when unreferenced" []
+    (Rcu.Readers.violations readers);
+  Rcu.Readers.enter readers c;
+  Rcu.Readers.hold readers c ~oid:5;
+  Rcu.Readers.check_reusable readers ~oid:5 ~where:"alloc";
+  Alcotest.(check int) "premature reuse flagged" 1
+    (List.length (Rcu.Readers.violations readers));
+  Rcu.Readers.exit readers c
+
+let test_sections_block_gp () =
+  let env = make_env ~cpus:2 () in
+  let readers = Rcu.Readers.create env.rcu in
+  let c = cpu0 env in
+  Rcu.Readers.enter readers c;
+  Rcu.request_gp env.rcu;
+  Sim.Engine.run ~until:Sim.(Clock.ms 10) env.eng;
+  Alcotest.(check int) "section blocks gp" 0 (Rcu.completed env.rcu);
+  Rcu.Readers.exit readers c;
+  Sim.Engine.run ~until:Sim.(Clock.ms 20) env.eng;
+  Alcotest.(check bool) "gp proceeds" true (Rcu.completed env.rcu >= 1)
+
+let test_with_section_exception_safe () =
+  let env = make_env ~cpus:2 () in
+  let readers = Rcu.Readers.create env.rcu in
+  let c = cpu0 env in
+  (try
+     Rcu.Readers.with_section readers c (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "nesting restored" 0 c.Sim.Machine.rcu_nesting
+
+let suite =
+  [
+    Alcotest.test_case "hold/release" `Quick test_hold_release;
+    Alcotest.test_case "exit drops refs" `Quick test_exit_drops_refs;
+    Alcotest.test_case "hold outside section flagged" `Quick
+      test_hold_outside_section_flagged;
+    Alcotest.test_case "release unheld flagged" `Quick
+      test_release_unheld_flagged;
+    Alcotest.test_case "check_reusable" `Quick test_check_reusable;
+    Alcotest.test_case "sections block gp" `Quick test_sections_block_gp;
+    Alcotest.test_case "with_section exception safe" `Quick
+      test_with_section_exception_safe;
+  ]

@@ -1,0 +1,123 @@
+let test_deterministic () =
+  let a = Sim.Rng.create ~seed:7 in
+  let b = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sim.Rng.create ~seed:1 in
+  let b = Sim.Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Sim.Rng.bits64 a <> Sim.Rng.bits64 b)
+
+let test_split_independent () =
+  let a = Sim.Rng.create ~seed:3 in
+  let b = Sim.Rng.split a in
+  let xs = List.init 20 (fun _ -> Sim.Rng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let g = Sim.Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int g 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of range: %d" v
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Sim.Rng.int g 0))
+
+let test_int_in_inclusive () =
+  let g = Sim.Rng.create ~seed:12 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 20_000 do
+    let v = Sim.Rng.int_in g 3 5 in
+    if v = 3 then seen_lo := true;
+    if v = 5 then seen_hi := true;
+    if v < 3 || v > 5 then Alcotest.failf "int_in out of range: %d" v
+  done;
+  Alcotest.(check bool) "lo reachable" true !seen_lo;
+  Alcotest.(check bool) "hi reachable" true !seen_hi
+
+let test_float_range () =
+  let g = Sim.Rng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.float g 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_int_roughly_uniform () =
+  let g = Sim.Rng.create ~seed:14 in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Sim.Rng.int g 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expect = n / 8 in
+      if abs (c - expect) > expect / 5 then
+        Alcotest.failf "bucket %d badly skewed: %d vs %d" i c expect)
+    counts
+
+let test_chance_extremes () =
+  let g = Sim.Rng.create ~seed:15 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Sim.Rng.chance g 0.0);
+    Alcotest.(check bool) "p=1 always" true (Sim.Rng.chance g 1.0)
+  done
+
+let test_exponential_mean () =
+  let g = Sim.Rng.create ~seed:16 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Sim.Rng.exponential g ~mean:100.0 in
+    if v < 0.0 then Alcotest.fail "exponential negative";
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 90.0 || mean > 110.0 then
+    Alcotest.failf "exponential mean off: %f" mean
+
+let test_geometric () =
+  let g = Sim.Rng.create ~seed:17 in
+  Alcotest.(check int) "p=1 is always 0" 0 (Sim.Rng.geometric g ~p:1.0);
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Sim.Rng.geometric g ~p:0.5
+  done;
+  (* mean of geometric(0.5) failures-before-success is 1 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  if mean < 0.9 || mean > 1.1 then Alcotest.failf "geometric mean off: %f" mean
+
+let test_pick_and_shuffle () =
+  let g = Sim.Rng.create ~seed:18 in
+  let a = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 100 do
+    let v = Sim.Rng.pick g a in
+    if v < 1 || v > 5 then Alcotest.failf "pick out of range: %d" v
+  done;
+  let b = Array.copy a in
+  Sim.Rng.shuffle g b;
+  Alcotest.(check (list int))
+    "shuffle is a permutation" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare (Array.to_list b))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic for a seed" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in inclusive" `Quick test_int_in_inclusive;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int roughly uniform" `Quick test_int_roughly_uniform;
+    Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "geometric distribution" `Quick test_geometric;
+    Alcotest.test_case "pick and shuffle" `Quick test_pick_and_shuffle;
+  ]
