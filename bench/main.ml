@@ -7,7 +7,8 @@
      BENCH_CPUS=8     -- simulated CPUs
      BENCH_SEED=42
      BENCH_RUNS=1     -- repetitions for mean +/- stdev
-     BENCH_SKIP_BECHAMEL=1 -- skip the real-time section *)
+     BENCH_SKIP_BECHAMEL=1 -- skip the real-time section
+     BENCH_SKIP_TRACE=1 -- skip the traced lifetime-histogram section *)
 
 let getenv_f name default =
   match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
@@ -21,6 +22,7 @@ let params =
     seed = getenv_i "BENCH_SEED" 42;
     cpus = getenv_i "BENCH_CPUS" 8;
     runs = getenv_i "BENCH_RUNS" 1;
+    trace = None;
   }
 
 let section id =
@@ -31,6 +33,31 @@ let section id =
       let reports = e.Core.Experiments.run params in
       Core.Metrics.Report.print_all Format.std_formatter reports;
       Format.printf "(section %s took %.1fs of real time)@.@." id
+        (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Traced rerun: defer->reuse lifetime histograms, SLUB vs Prudence.   *)
+(* ------------------------------------------------------------------ *)
+
+let trace_section () =
+  Format.printf
+    "==============================================================================@.";
+  Format.printf
+    "[TRACE] Deferred-object lifetime (defer -> reuse), fig6 microbenchmark@.";
+  Format.printf
+    "==============================================================================@.";
+  let t0 = Unix.gettimeofday () in
+  match Core.Experiments.run_traced params "fig6" with
+  | None -> assert false
+  | Some runs ->
+      List.iter
+        (fun (label, tr) ->
+          Format.printf "%s@."
+            (Core.Metrics.Histview.render
+               ~title:(label ^ " defer->reuse lifetime")
+               (Core.Trace.lifetime tr)))
+        runs;
+      Format.printf "(section trace took %.1fs of real time)@.@."
         (Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
@@ -142,6 +169,9 @@ let () =
      runs=%d)@.@."
     params.Core.Experiments.scale params.Core.Experiments.cpus
     params.Core.Experiments.seed params.Core.Experiments.runs;
-  List.iter section [ "fig3"; "costs"; "fig6"; "apps"; "tree"; "ablations" ];
+  List.iter
+    (fun (e : Core.Experiments.experiment) -> section e.Core.Experiments.id)
+    Core.Experiments.all;
+  if Sys.getenv_opt "BENCH_SKIP_TRACE" = None then trace_section ();
   if Sys.getenv_opt "BENCH_SKIP_BECHAMEL" = None then bechamel_section ();
   Format.printf "@.done.@."

@@ -13,7 +13,7 @@ let list_experiments () =
   0
 
 let params scale seed cpus runs =
-  { Core.Experiments.scale; seed; cpus; runs }
+  { Core.Experiments.scale; seed; cpus; runs; trace = None }
 
 let run_experiment ids p =
   let ids = if ids = [] then [ "all" ] else ids in
@@ -43,11 +43,73 @@ let run_experiment ids p =
     experiments;
   0
 
+let trace_experiment id out want_hists ring p =
+  if ring <= 0 then begin
+    Format.eprintf "--ring must be positive (got %d)@." ring;
+    exit 2
+  end;
+  let p = { p with Core.Experiments.trace = Some ring } in
+  match Core.Experiments.run_traced p id with
+  | None ->
+      Format.eprintf "experiment %S cannot be traced; traceable: %s@." id
+        (String.concat ", " Core.Experiments.traceable);
+      2
+  | Some runs ->
+      let out =
+        match out with Some f -> f | None -> Printf.sprintf "trace-%s.json" id
+      in
+      Core.Trace.Chrome.write_file out runs;
+      List.iter
+        (fun (label, tr) ->
+          Format.printf "== %s: %d events retained (%d dropped)@." label
+            (Core.Trace.total_events tr)
+            (Core.Trace.total_dropped tr);
+          let hist title h =
+            Format.printf "%s@."
+              (Core.Metrics.Histview.render ~title:(label ^ " " ^ title) h)
+          in
+          hist "defer->reuse lifetime" (Core.Trace.lifetime tr);
+          if want_hists then begin
+            hist "grace-period latency" (Core.Trace.gp_latency tr);
+            hist "node-lock wait" (Core.Trace.lock_wait tr);
+            hist "allocation-path cost" (Core.Trace.alloc_cost tr)
+          end)
+        runs;
+      (let p50 (_, tr) = Core.Trace.Hist.percentile (Core.Trace.lifetime tr) 50. in
+       match runs with
+       | [ slub; prud ] when p50 slub > 0 ->
+           Format.printf
+             "median defer->reuse lifetime: %s (slub) vs %s (prudence), %.1fx@."
+             (Core.Metrics.Histview.fmt_ns (p50 slub))
+             (Core.Metrics.Histview.fmt_ns (p50 prud))
+             (float_of_int (p50 slub) /. float_of_int (max 1 (p50 prud)))
+       | _ -> ());
+      Format.printf "wrote %s (load it at https://ui.perfetto.dev or \
+                     chrome://tracing)@." out;
+      0
+
 open Cmdliner
 
+(* --scale accepts a float or the presets small/medium/full. *)
+let scale_conv =
+  let parse s =
+    match s with
+    | "small" -> Ok 0.05
+    | "medium" -> Ok 0.3
+    | "full" -> Ok 1.0
+    | _ -> (
+        match float_of_string_opt s with
+        | Some f when f > 0.0 -> Ok f
+        | _ -> Error (`Msg (Printf.sprintf "invalid scale %S" s)))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 let scale_arg =
-  let doc = "Workload scale factor (1.0 = EXPERIMENTS.md defaults)." in
-  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F" ~doc)
+  let doc =
+    "Workload scale factor: a float or small/medium/full (= 0.05/0.3/1.0; \
+     1.0 = EXPERIMENTS.md defaults)."
+  in
+  Arg.(value & opt scale_conv 1.0 & info [ "scale" ] ~docv:"F" ~doc)
 
 let seed_arg =
   let doc = "Deterministic simulation seed." in
@@ -79,6 +141,34 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run experiments and print their reports")
     Term.(const run_experiment $ ids $ params_term)
 
+let trace_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id to trace (fig3, fig6).")
+  in
+  let out =
+    let doc = "Output file for the Chrome trace-event JSON (default \
+               trace-<experiment>.json)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let hists =
+    let doc = "Also print the grace-period latency, lock-wait and \
+               allocation-cost histograms." in
+    Arg.(value & flag & info [ "hist" ] ~doc)
+  in
+  let ring =
+    let doc = "Per-CPU event-ring capacity (oldest events drop on overflow)." in
+    Arg.(value & opt int 65_536 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Rerun an experiment with tracing armed: write a Perfetto-loadable \
+          Chrome trace and print latency histograms")
+    Term.(const trace_experiment $ id $ out $ hists $ ring $ params_term)
+
 let main_cmd =
   let doc =
     "Reproduction of 'Prudent Memory Reclamation in Procrastination-Based \
@@ -86,6 +176,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
-    [ list_cmd; run_cmd ]
+    [ list_cmd; run_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -5,6 +5,7 @@
     qualified paths ([Core.Experiments.run_fig6], [Core.Prudence.alloc],
     ...). *)
 
+module Trace = Trace
 module Sim = Sim
 module Mem = Mem
 module Rcu = Rcu

@@ -2,9 +2,16 @@ module W = Workloads
 module T = Metrics.Table
 module Report = Metrics.Report
 
-type params = { scale : float; seed : int; cpus : int; runs : int }
+type params = {
+  scale : float;
+  seed : int;
+  cpus : int;
+  runs : int;
+  trace : int option;
+}
 
-let default_params = { scale = 1.0; seed = 42; cpus = 8; runs = 1 }
+let default_params =
+  { scale = 1.0; seed = 42; cpus = 8; runs = 1; trace = None }
 
 type experiment = {
   id : string;
@@ -21,6 +28,7 @@ let base_env_config params kind =
     W.Env.kind;
     cpus = params.cpus;
     seed = params.seed;
+    trace = params.trace;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -867,6 +875,40 @@ let run_ablations params =
     ablation_preflush params;
     ablation_blimit params;
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Traced runs: the same workloads with the Trace tracer armed          *)
+(* ------------------------------------------------------------------ *)
+
+let traceable = [ "fig3"; "fig6" ]
+
+let run_traced params id =
+  (* Force tracing on (the whole point of the call), keeping any
+     caller-chosen ring capacity. *)
+  let params =
+    { params with trace = Some (Option.value params.trace ~default:65_536) }
+  in
+  let pair build run_workload =
+    List.map
+      (fun kind ->
+        let env = W.Env.build (build kind) in
+        run_workload env;
+        (W.Env.kind_label kind, env.W.Env.tracer))
+      [ W.Env.Baseline; W.Env.Prudence_alloc ]
+  in
+  match id with
+  | "fig3" ->
+      Some
+        (pair (endurance_env params) (fun env ->
+             ignore (W.Endurance.run env (endurance_config params))))
+  | "fig6" ->
+      Some
+        (pair
+           (fun kind -> microbench_env params kind params.seed)
+           (fun env ->
+             ignore
+               (W.Microbench.run env (microbench_config params ~obj_size:512))))
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 

@@ -11,6 +11,10 @@ type params = {
   seed : int;
   cpus : int;
   runs : int;  (** Repetitions for mean +/- stdev (paper: 3). *)
+  trace : int option;
+      (** [Some ring_capacity] arms the {!Trace} tracer on every
+          environment the experiment builds; [None] (default) runs
+          untraced. *)
 }
 
 val default_params : params
@@ -57,3 +61,15 @@ val app_results :
   params ->
   (string * Workloads.Appmodel.result * Workloads.Appmodel.result) list
 (** [(bench, baseline, prudence)] for the four §5.3 benchmarks. *)
+
+(** {1 Traced runs} (the [trace] subcommand and bench harness) *)
+
+val traceable : string list
+(** Experiment ids {!run_traced} accepts. *)
+
+val run_traced : params -> string -> (string * Trace.t) list option
+(** [run_traced params id] reruns experiment [id]'s workload over both
+    allocators with tracing forced on (ring capacity from [params.trace],
+    default 65536) and returns [(allocator label, tracer)] per run — the
+    tracer holds the event rings and latency histograms. [None] if [id]
+    is not in {!traceable}. *)

@@ -1,0 +1,63 @@
+(* Horizontal-bar rendering of a Trace.Hist.t latency histogram. *)
+
+let fmt_ns v =
+  if v >= 1_000_000_000 then Printf.sprintf "%.2fs" (float_of_int v /. 1e9)
+  else if v >= 1_000_000 then Printf.sprintf "%.2fms" (float_of_int v /. 1e6)
+  else if v >= 1_000 then Printf.sprintf "%.1fus" (float_of_int v /. 1e3)
+  else Printf.sprintf "%dns" v
+
+(* Collapse runs of adjacent buckets so the chart never exceeds
+   [max_rows] rows; each printed band spans [low, high) of its first and
+   last source bucket. *)
+let band buckets ~max_rows =
+  let n = List.length buckets in
+  let per = (n + max_rows - 1) / max_rows in
+  let rec chunk acc cur k = function
+    | [] -> List.rev (match cur with None -> acc | Some b -> b :: acc)
+    | (low, high, count) :: rest -> (
+        match cur with
+        | None -> chunk acc (Some (low, high, count)) 1 rest
+        | Some (blow, bhigh, bcount) ->
+            if k < per then
+              chunk acc (Some (blow, high, bcount + count)) (k + 1) rest
+            else
+              chunk
+                ((blow, bhigh, bcount) :: acc)
+                None 0
+                ((low, high, count) :: rest))
+  in
+  chunk [] None 0 buckets
+
+let render ?(width = 40) ?(max_rows = 20) ~title (h : Trace.Hist.t) =
+  let buf = Buffer.create 1024 in
+  let count = Trace.Hist.count h in
+  if count = 0 then Printf.sprintf "%s: (no samples)\n" title
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%s: %d samples  mean %s  p50 %s  p90 %s  p99 %s  max %s\n" title
+         count
+         (fmt_ns (int_of_float (Trace.Hist.mean h)))
+         (fmt_ns (Trace.Hist.percentile h 50.))
+         (fmt_ns (Trace.Hist.percentile h 90.))
+         (fmt_ns (Trace.Hist.percentile h 99.))
+         (fmt_ns (Trace.Hist.max_value h)));
+    let buckets =
+      List.rev
+        (Trace.Hist.fold h
+           (fun acc ~low ~high ~count -> (low, high, count) :: acc)
+           [])
+    in
+    let bands = band buckets ~max_rows in
+    let maxc = List.fold_left (fun a (_, _, c) -> max a c) 1 bands in
+    List.iter
+      (fun (low, high, c) ->
+        let bar = max 1 (c * width / maxc) in
+        Buffer.add_string buf
+          (Printf.sprintf "  %10s .. %-10s |%-*s %d\n" (fmt_ns low)
+             (fmt_ns high) width
+             (String.make bar '#')
+             c))
+      bands;
+    Buffer.contents buf
+  end

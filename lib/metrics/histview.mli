@@ -1,0 +1,12 @@
+(** ASCII rendering of {!Trace.Hist} latency histograms: a summary line
+    (count / mean / p50 / p90 / p99 / max) followed by one
+    [low .. high |###| count] bar per bucket band. *)
+
+val fmt_ns : int -> string
+(** Compact virtual-nanosecond formatting: "850ns", "3.2us", "1.20ms",
+    "2.50s". *)
+
+val render : ?width:int -> ?max_rows:int -> title:string -> Trace.Hist.t -> string
+(** Render the histogram, collapsing adjacent buckets so at most
+    [max_rows] (default 20) bars print, the widest [width] (default 40)
+    characters. Empty histograms render as "(no samples)". *)

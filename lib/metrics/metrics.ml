@@ -2,4 +2,5 @@
 
 module Table = Table
 module Ascii_chart = Ascii_chart
+module Histview = Histview
 module Report = Report

@@ -76,6 +76,8 @@ let merge_caches t (cache : Frame.cache) (pc : Frame.pcpu) =
   done;
   if !moved > 0 then begin
     Stats.merge cache.Frame.stats ~n:!moved;
+    Frame.trace_event cache pc.Frame.cpu ~arg:!moved
+      Trace.Event.Latent_merge;
     charge pc.Frame.cpu
       (t.env.Frame.costs.Costs.merge
       + (!moved * t.env.Frame.costs.Costs.merge_per_obj))
@@ -93,9 +95,11 @@ let demote_to_latent_slab t (cache : Frame.cache) (pc : Frame.pcpu) obj =
   (* Pre-movement needs the node-list lock only when the list changes. *)
   if Frame.relocate cache slab then begin
     Stats.premove cache.Frame.stats;
+    Frame.trace_event cache pc.Frame.cpu Trace.Event.Premove;
     let node = cache.Frame.nodes.(slab.Frame.node_id) in
     let delay =
-      Sim.Simlock.acquire node.Frame.lock
+      Sim.Simlock.acquire ~tracer:(Frame.tracer cache)
+        ~cpu:pc.Frame.cpu.Sim.Machine.id node.Frame.lock
         ~now:(Sim.Engine.now (Sim.Machine.engine t.env.Frame.machine))
         ~hold:costs.Costs.node_lock_hold
     in
@@ -139,7 +143,10 @@ let rec preflush_pass t (cache : Frame.cache) (pc : Frame.pcpu) =
                     ~count:(max 0 (excess ())));
           ()
     done;
-    if !moved > 0 then Stats.preflush_pass cache.Frame.stats ~n:!moved;
+    if !moved > 0 then begin
+      Stats.preflush_pass cache.Frame.stats ~n:!moved;
+      Frame.trace_event cache pc.Frame.cpu ~arg:!moved Trace.Event.Preflush
+    end;
     (* If work remains and the CPU is still idle, continue in a later
        chunk; otherwise re-arm for the next idle window. *)
     if excess () > 0 then schedule_preflush_delayed t cache pc
@@ -169,7 +176,7 @@ and schedule_preflush t cache (pc : Frame.pcpu) =
   end
 
 (* Algorithm 1 MALLOC (l.1-12) + REFILL_OBJECT_CACHE (l.13-33). *)
-let rec alloc t ?(may_wait = true) (cache : Frame.cache) cpu =
+let rec alloc_inner t ~may_wait (cache : Frame.cache) cpu =
   let costs = t.env.Frame.costs in
   let pc = Frame.pcpu_for cache cpu in
   Stats.alloc cache.Frame.stats;
@@ -178,6 +185,7 @@ let rec alloc t ?(may_wait = true) (cache : Frame.cache) cpu =
   match Frame.pop_ocache pc with
   | Some obj ->
       Stats.hit cache.Frame.stats;
+      Frame.trace_event cache cpu Trace.Event.Alloc_hit;
       Frame.hand_to_user cache cpu obj;
       Some obj
   | None -> alloc_slow t ~may_wait cache cpu pc
@@ -190,10 +198,12 @@ and alloc_slow t ~may_wait (cache : Frame.cache) cpu (pc : Frame.pcpu) =
   match Frame.pop_ocache pc with
   | Some obj ->
       Stats.hit cache.Frame.stats;
+      Frame.trace_event cache cpu Trace.Event.Alloc_hit;
       Frame.hand_to_user cache cpu obj;
       Some obj
   | None -> (
       Stats.miss cache.Frame.stats;
+      Frame.trace_event cache cpu Trace.Event.Alloc_miss;
       (* l.13-25: partial refill, leaving room for the latent objects that
          will merge after the grace period. The paper subtracts the whole
          latent count; we subtract only the ripe prefix (the merge is
@@ -234,9 +244,19 @@ and alloc_slow t ~may_wait (cache : Frame.cache) cpu (pc : Frame.pcpu) =
             Stats.oom_delayed cache.Frame.stats;
             Rcu.request_gp t.rcu;
             Rcu.synchronize t.rcu;
-            alloc t ~may_wait:false cache cpu
+            alloc_inner t ~may_wait:false cache cpu
           end
           else None)
+
+let alloc t ?(may_wait = true) (cache : Frame.cache) (cpu : Sim.Machine.cpu) =
+  let tr = Frame.tracer cache in
+  if not (Trace.enabled tr) then alloc_inner t ~may_wait cache cpu
+  else begin
+    let pend0 = cpu.Sim.Machine.pending_ns in
+    let result = alloc_inner t ~may_wait cache cpu in
+    Trace.record_alloc_cost tr (cpu.Sim.Machine.pending_ns - pend0);
+    result
+  end
 
 (* Algorithm 1 FREE_DEFERRED (l.34-51). *)
 let free_deferred t (cache : Frame.cache) cpu obj =
@@ -246,6 +266,7 @@ let free_deferred t (cache : Frame.cache) cpu obj =
   Frame.note_release pc;
   (* l.35: capture the grace-period state. *)
   let cookie = Rcu.snapshot t.rcu in
+  Frame.trace_event cache cpu ~arg:cookie Trace.Event.Defer_free;
   Frame.stamp_deferred cache obj ~cookie;
   Rcu.request_gp t.rcu;
   charge cpu costs.Costs.defer_enqueue;

@@ -51,6 +51,7 @@ type t = {
   mutable completed_gps : int;
   mutable expedited_flag : bool;
   mutable pending : int;
+  mutable gp_started_at : int;
   gp_cond : Sim.Process.Cond.t;
   mutable gp_hooks : (int -> unit) list;
   (* stats *)
@@ -65,6 +66,8 @@ type t = {
 
 let machine t = t.machine
 let config t = t.cfg
+let tracer t = Sim.Machine.tracer t.machine
+let now t = Sim.Engine.now t.engine
 let completed t = t.completed_gps
 let pending_callbacks t = t.pending
 let expedited t = t.expedited_flag
@@ -114,6 +117,10 @@ and softirq_pass t (pc : pcpu) =
     Sim.Machine.consume pc.cpu (n * t.cfg.invoke_cost_ns);
     t.pending <- t.pending - n;
     t.s_cbs_invoked <- t.s_cbs_invoked + n;
+    let tr = tracer t in
+    if Trace.enabled tr then
+      Trace.emit tr ~time:(now t) ~cpu:pc.cpu.Sim.Machine.id ~arg:n
+        Trace.Event.Cb_invoke;
     List.iter (fun fn -> fn ()) fns
   end;
   if Cblist.ready pc.cbs > 0 then raise_softirq t pc
@@ -123,6 +130,12 @@ let rec start_gp t =
   t.gp_active <- true;
   t.gp_requested <- false;
   t.s_gps_started <- t.s_gps_started + 1;
+  (let tr = tracer t in
+   if Trace.enabled tr then begin
+     t.gp_started_at <- now t;
+     Trace.emit tr ~time:t.gp_started_at ~cpu:(-1) ~arg:t.s_gps_started
+       Trace.Event.Gp_start
+   end);
   Array.fill t.qs_needed 0 (Array.length t.qs_needed) true;
   t.qs_remaining <- Array.length t.qs_needed
 
@@ -131,6 +144,12 @@ and complete_gp t =
   t.gp_active <- false;
   t.completed_gps <- t.completed_gps + 1;
   t.s_gps_completed <- t.s_gps_completed + 1;
+  (let tr = tracer t in
+   if Trace.enabled tr then begin
+     Trace.emit tr ~time:(now t) ~cpu:(-1) ~arg:t.s_gps_completed
+       Trace.Event.Gp_end;
+     Trace.record_gp_latency tr (now t - t.gp_started_at)
+   end);
   let waiting_remain = ref false in
   Array.iter
     (fun pc ->
@@ -156,6 +175,10 @@ let call_rcu t (cpu : Sim.Machine.cpu) fn =
   let cookie = snapshot t in
   let pc = t.percpu.(cpu.id) in
   Cblist.enqueue pc.cbs ~cookie fn;
+  (let tr = tracer t in
+   if Trace.enabled tr then
+     Trace.emit tr ~time:(now t) ~cpu:cpu.id ~arg:cookie
+       Trace.Event.Cb_enqueue);
   Sim.Machine.consume cpu t.cfg.enqueue_cost_ns;
   t.pending <- t.pending + 1;
   t.s_cbs_queued <- t.s_cbs_queued + 1;
@@ -243,6 +266,7 @@ let create ?(config = default_config) machine =
       completed_gps = 0;
       expedited_flag = false;
       pending = 0;
+      gp_started_at = 0;
       gp_cond = Sim.Process.Cond.create (Sim.Machine.engine machine);
       gp_hooks = [];
       s_gps_started = 0;

@@ -15,6 +15,7 @@ type t = {
   tick : int;
   mutable hooks : (cpu -> unit) list;
   mutable started : bool;
+  mutable tracer : Trace.t;
 }
 
 let create engine ~cpus ?(nodes = 1) ?(tick_ns = 1_000_000) () =
@@ -40,6 +41,7 @@ let create engine ~cpus ?(nodes = 1) ?(tick_ns = 1_000_000) () =
     tick = tick_ns;
     hooks = [];
     started = false;
+    tracer = Trace.null;
   }
 
 let engine t = t.engine
@@ -52,8 +54,14 @@ let tick_ns t = t.tick
 
 let on_context_switch t hook = t.hooks <- hook :: t.hooks
 
+let tracer t = t.tracer
+let set_tracer t tracer = t.tracer <- tracer
+
 let context_switch t c =
   c.ctx_switches <- c.ctx_switches + 1;
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer ~time:(Engine.now t.engine) ~cpu:c.id
+      Trace.Event.Ctx_switch;
   List.iter (fun hook -> hook c) t.hooks
 
 let start t =
@@ -90,6 +98,12 @@ let is_idle c = c.idle
 
 let idle_sleep t c ns =
   c.idle <- true;
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer ~time:(Engine.now t.engine) ~cpu:c.id
+      Trace.Event.Idle_start;
   run_idle_work c;
   Process.sleep t.engine ns;
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer ~time:(Engine.now t.engine) ~cpu:c.id
+      Trace.Event.Idle_end;
   c.idle <- false

@@ -19,7 +19,7 @@ let create ~name =
 
 let name l = l.lock_name
 
-let acquire l ~now ~hold =
+let acquire ?(tracer = Trace.null) ?(cpu = -1) l ~now ~hold =
   if hold < 0 then invalid_arg "Simlock.acquire: negative hold";
   let start = if now >= l.free_at then now else l.free_at in
   let wait = start - now in
@@ -28,6 +28,15 @@ let acquire l ~now ~hold =
   if wait > 0 then l.contended <- l.contended + 1;
   l.total_wait <- l.total_wait + wait;
   l.total_hold <- l.total_hold + hold;
+  if Trace.enabled tracer then begin
+    Trace.emit tracer ~time:now ~cpu ~label:l.lock_name
+      Trace.Event.Lock_acquire;
+    if wait > 0 then begin
+      Trace.emit tracer ~time:now ~cpu ~label:l.lock_name ~arg:wait
+        Trace.Event.Lock_contended;
+      Trace.record_lock_wait tracer wait
+    end
+  end;
   wait + hold
 
 let acquisitions l = l.acquisitions

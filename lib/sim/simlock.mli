@@ -17,10 +17,15 @@ val create : name:string -> t
 
 val name : t -> string
 
-val acquire : t -> now:int -> hold:int -> int
+val acquire :
+  ?tracer:Trace.t -> ?cpu:int -> t -> now:int -> hold:int -> int
 (** [acquire l ~now ~hold] simulates acquiring [l] at time [now] and holding
     it for [hold] ns. Returns the total delay (queueing wait + hold) the
-    caller experiences; 0 wait when uncontended. *)
+    caller experiences; 0 wait when uncontended.
+
+    When a live [tracer] is passed, the acquisition emits a lock-acquire
+    event on [cpu] (and a lock-contended event plus a lock-wait histogram
+    sample if it had to wait), labelled with the lock's name. *)
 
 val acquisitions : t -> int
 (** Total number of acquisitions so far. *)

@@ -57,6 +57,10 @@ type objekt = {
   mutable ostate : ostate;
   mutable gp_cookie : int;
   mutable touched : bool;
+  mutable deferred_at : int;
+      (* Virtual time of the deferred free that last retired this object,
+         -1 when not deferred (or tracing is off): drives the defer->reuse
+         lifetime histogram. *)
 }
 
 and slab = {
@@ -210,11 +214,17 @@ let fragmentation cache =
 let truly_free slab = slab.free_n = slab.capacity
 
 let now cache = Sim.Engine.now (Sim.Machine.engine cache.env.machine)
+let tracer cache = Sim.Machine.tracer cache.env.machine
+
+let trace_event cache (cpu : Sim.Machine.cpu) ?arg kind =
+  let tr = tracer cache in
+  if Trace.enabled tr then
+    Trace.emit tr ~time:(now cache) ~cpu:cpu.id ~label:cache.name ?arg kind
 
 let lock_node cache (cpu : Sim.Machine.cpu) node =
   let delay =
-    Sim.Simlock.acquire node.lock ~now:(now cache)
-      ~hold:cache.env.costs.node_lock_hold
+    Sim.Simlock.acquire ~tracer:(tracer cache) ~cpu:cpu.id node.lock
+      ~now:(now cache) ~hold:cache.env.costs.node_lock_hold
   in
   Sim.Machine.consume cpu delay
 
@@ -229,7 +239,10 @@ let lock_pages cache (cpu : Sim.Machine.cpu) =
   let hold =
     costs.page_lock_hold + (costs.page_zero_per_page * pages * max 1 (pages / 2))
   in
-  let delay = Sim.Simlock.acquire cache.env.page_lock ~now:(now cache) ~hold in
+  let delay =
+    Sim.Simlock.acquire ~tracer:(tracer cache) ~cpu:cpu.id cache.env.page_lock
+      ~now:(now cache) ~hold
+  in
   Sim.Machine.consume cpu delay
 
 let list_of cache ~node_id = cache.nodes.(node_id)
@@ -355,6 +368,12 @@ let hand_to_user cache (cpu : Sim.Machine.cpu) obj =
       (costs.Costs.cold_touch
       + (cache.obj_size / 256 * costs.Costs.cold_touch_per_256b))
   end;
+  (* deferred_at is only ever set while tracing: close the defer->reuse
+     lifetime sample now that the object is being handed out again. *)
+  if obj.deferred_at >= 0 then begin
+    Trace.record_lifetime (tracer cache) (now cache - obj.deferred_at);
+    obj.deferred_at <- -1
+  end;
   obj.ostate <- Allocated;
   cache.live_objs <- cache.live_objs + 1
 
@@ -366,6 +385,7 @@ let release_from_user cache obj =
 let stamp_deferred cache obj ~cookie =
   assert (obj.ostate = Allocated);
   obj.gp_cookie <- cookie;
+  if Trace.enabled (tracer cache) then obj.deferred_at <- now cache;
   cache.live_objs <- cache.live_objs - 1
 
 let obj_to_latent_cache cache pc obj =
@@ -438,7 +458,9 @@ let poll_pressure cache =
 
 let grow cache (cpu : Sim.Machine.cpu) =
   match alloc_pages cache with
-  | None -> None
+  | None ->
+      trace_event cache cpu Trace.Event.Oom;
+      None
   | Some block ->
       let env = cache.env in
       let color = cache.color_next in
@@ -466,13 +488,21 @@ let grow cache (cpu : Sim.Machine.cpu) =
       let mk _ =
         let oid = env.next_oid in
         env.next_oid <- env.next_oid + 1;
-        { oid; parent = slab; ostate = Free_in_slab; gp_cookie = 0; touched = false }
+        {
+          oid;
+          parent = slab;
+          ostate = Free_in_slab;
+          gp_cookie = 0;
+          touched = false;
+          deferred_at = -1;
+        }
       in
       slab.free_objs <- List.init cache.objs_per_slab mk;
       link cache slab L_free;
       cache.total_slabs <- cache.total_slabs + 1;
       Slab_stats.set_current_slabs cache.stats cache.total_slabs;
       Slab_stats.grow cache.stats;
+      trace_event cache cpu ~arg:cache.total_slabs Trace.Event.Grow;
       Sim.Machine.consume cpu env.costs.grow;
       lock_pages cache cpu;
       poll_pressure cache;
@@ -517,6 +547,8 @@ let shrink_node cache (cpu : Sim.Machine.cpu) node =
     (* Oldest (closest to the back) first. *)
     destroy !candidates
   end;
+  if !destroyed > 0 then
+    trace_event cache cpu ~arg:!destroyed Trace.Event.Shrink;
   !destroyed
 
 let refill_from_node cache (cpu : Sim.Machine.cpu) ~want ~select =
@@ -548,6 +580,7 @@ let refill_from_node cache (cpu : Sim.Machine.cpu) ~want ~select =
     done;
     if !moved > 0 then begin
       Slab_stats.refill cache.stats;
+      trace_event cache cpu ~arg:!moved Trace.Event.Refill;
       Sim.Machine.consume cpu
         (cache.env.costs.refill + (!moved * cache.env.costs.refill_per_obj))
     end;
@@ -580,6 +613,7 @@ let flush_to_node cache (cpu : Sim.Machine.cpu) ~count =
             ignore (relocate cache obj.parent))
           objs;
         Slab_stats.flush cache.stats;
+        trace_event cache cpu ~arg:moved Trace.Event.Flush;
         Sim.Machine.consume cpu
           (cache.env.costs.flush + (moved * cache.env.costs.flush_per_obj));
         List.iter (fun node -> ignore (shrink_node cache cpu node)) !touched_nodes

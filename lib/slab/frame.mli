@@ -58,6 +58,10 @@ type objekt = private {
   mutable touched : bool;
       (** Whether a mutator has ever used this object's memory (first
           touch is charged cold-miss cost). *)
+  mutable deferred_at : int;
+      (** Virtual time of the deferred free that retired this object; [-1]
+          when not deferred or tracing is off. {!hand_to_user} closes the
+          defer->reuse lifetime histogram sample from it. *)
 }
 
 and slab = private {
@@ -165,6 +169,16 @@ val set_free_target : cache -> (unit -> int) -> unit
 val fragmentation : cache -> float
 (** Total fragmentation [f_t = allocated bytes / requested bytes] (paper
     §4.2). Returns [nan] when no objects are live. *)
+
+val tracer : cache -> Trace.t
+(** The machine's tracer ({!Trace.null} when tracing is off). *)
+
+val trace_event :
+  cache -> Sim.Machine.cpu -> ?arg:int -> Trace.Event.kind -> unit
+(** Emit an event labelled with the cache name at the current virtual time
+    on [cpu]; no-op when tracing is off. The frame itself emits refill,
+    flush, grow, shrink, lock and OOM events; allocator policies emit
+    their own (hit/miss, merge, pre-flush, defer). *)
 
 val truly_free : slab -> bool
 (** All objects back on the freelist: the slab's pages may be returned. *)

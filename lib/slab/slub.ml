@@ -19,7 +19,7 @@ let create_cache t ~name ~obj_size =
 
 let charge (cpu : Sim.Machine.cpu) ns = Sim.Machine.consume cpu ns
 
-let alloc t (cache : Frame.cache) cpu =
+let alloc_inner t (cache : Frame.cache) cpu =
   let costs = t.env.Frame.costs in
   let pc = Frame.pcpu_for cache cpu in
   Slab_stats.alloc cache.Frame.stats;
@@ -27,10 +27,12 @@ let alloc t (cache : Frame.cache) cpu =
   match Frame.pop_ocache pc with
   | Some obj ->
       Slab_stats.hit cache.Frame.stats;
+      Frame.trace_event cache cpu Trace.Event.Alloc_hit;
       Frame.hand_to_user cache cpu obj;
       Some obj
   | None ->
       Slab_stats.miss cache.Frame.stats;
+      Frame.trace_event cache cpu Trace.Event.Alloc_miss;
       let got =
         Frame.refill_from_node cache cpu ~want:cache.Frame.batch
           ~select:Frame.select_slub
@@ -52,6 +54,16 @@ let alloc t (cache : Frame.cache) cpu =
             Some obj
         | None -> None
 
+let alloc t (cache : Frame.cache) (cpu : Sim.Machine.cpu) =
+  let tr = Frame.tracer cache in
+  if not (Trace.enabled tr) then alloc_inner t cache cpu
+  else begin
+    let pend0 = cpu.Sim.Machine.pending_ns in
+    let result = alloc_inner t cache cpu in
+    Trace.record_alloc_cost tr (cpu.Sim.Machine.pending_ns - pend0);
+    result
+  end
+
 (* The reclamation path shared by immediate frees and RCU callbacks. *)
 let release t (cache : Frame.cache) cpu obj =
   let costs = t.env.Frame.costs in
@@ -72,6 +84,7 @@ let free_deferred t (cache : Frame.cache) cpu obj =
   let costs = t.env.Frame.costs in
   Slab_stats.deferred_free cache.Frame.stats;
   let cookie = Rcu.snapshot t.rcu in
+  Frame.trace_event cache cpu ~arg:cookie Trace.Event.Defer_free;
   Frame.stamp_deferred cache obj ~cookie;
   charge cpu costs.Costs.defer_enqueue;
   (* Listing 1: the allocator never sees the object until RCU invokes the

@@ -1,0 +1,13 @@
+(** Chrome trace-event JSON export (loadable in Perfetto /
+    [chrome://tracing]).
+
+    Each [(name, tracer)] run becomes a separate process: its CPUs are
+    threads, grace periods appear as duration slices on a synthetic
+    "rcu-gp" thread, idle windows as slices on their CPU's thread, and all
+    other events as thread-scoped instants. *)
+
+val to_string : (string * Tracer.t) list -> string
+(** Render the runs as one Chrome trace-event JSON document. *)
+
+val write_file : string -> (string * Tracer.t) list -> unit
+(** [write_file path runs] writes {!to_string}[ runs] to [path]. *)

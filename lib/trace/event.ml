@@ -1,0 +1,59 @@
+type kind =
+  | Alloc_hit
+  | Alloc_miss
+  | Refill
+  | Flush
+  | Grow
+  | Shrink
+  | Defer_free
+  | Latent_merge
+  | Premove
+  | Preflush
+  | Gp_start
+  | Gp_end
+  | Cb_enqueue
+  | Cb_invoke
+  | Lock_acquire
+  | Lock_contended
+  | Idle_start
+  | Idle_end
+  | Ctx_switch
+  | Oom
+
+type t = {
+  time : int;  (** virtual ns *)
+  cpu : int;  (** -1 when not CPU-bound (e.g. grace-period bookkeeping) *)
+  kind : kind;
+  label : string;  (** cache or lock name; "" when none *)
+  arg : int;
+      (** kind-dependent payload: object count (refill/flush/merge/
+          preflush/cb_invoke), grace-period sequence number (gp/cb events,
+          defer_free), wait ns (lock_contended); 0 otherwise *)
+}
+
+let kind_name = function
+  | Alloc_hit -> "alloc-hit"
+  | Alloc_miss -> "alloc-miss"
+  | Refill -> "refill"
+  | Flush -> "flush"
+  | Grow -> "grow"
+  | Shrink -> "shrink"
+  | Defer_free -> "defer-free"
+  | Latent_merge -> "latent-merge"
+  | Premove -> "premove"
+  | Preflush -> "preflush"
+  | Gp_start -> "gp-start"
+  | Gp_end -> "gp-end"
+  | Cb_enqueue -> "cb-enqueue"
+  | Cb_invoke -> "cb-invoke"
+  | Lock_acquire -> "lock-acquire"
+  | Lock_contended -> "lock-contended"
+  | Idle_start -> "idle-start"
+  | Idle_end -> "idle-end"
+  | Ctx_switch -> "ctx-switch"
+  | Oom -> "oom"
+
+let pp fmt e =
+  Format.fprintf fmt "%d cpu%d %s%s arg=%d" e.time e.cpu (kind_name e.kind)
+    (if e.label = "" then "" else " [" ^ e.label ^ "]")
+    e.arg

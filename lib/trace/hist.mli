@@ -1,0 +1,30 @@
+(** Log-bucketed (HDR-style) latency histogram.
+
+    Records non-negative integers (virtual nanoseconds) into buckets of
+    relative width <= 1/16 (values below 32 are exact), so percentiles are
+    accurate to ~6% whatever the magnitude, with O(1) recording and a fixed
+    small footprint. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** [record t v] adds one sample. Negative values are clamped to 0. *)
+
+val count : t -> int
+val mean : t -> float
+val min_value : t -> int
+val max_value : t -> int
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0..100]: a lower bound of the bucket
+    containing the [p]-th percentile sample; within 1/16 relative error of
+    the true value. 0 if the histogram is empty. *)
+
+val fold :
+  t -> ('a -> low:int -> high:int -> count:int -> 'a) -> 'a -> 'a
+(** Fold over non-empty buckets in increasing value order; each bucket
+    covers [low, high). *)
+
+val clear : t -> unit

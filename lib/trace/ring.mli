@@ -1,0 +1,25 @@
+(** Bounded ring buffer that drops the {e oldest} element on overflow, so a
+    long run always retains the most recent window of trace events. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] is an empty ring holding at most [capacity]
+    elements. Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** Elements overwritten because the ring was full. *)
+
+val push : 'a t -> 'a -> unit
+(** Append an element; if the ring is full, the oldest one is dropped. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Iterate oldest to newest. *)
+
+val to_list : 'a t -> 'a list
+(** Contents, oldest first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,70 @@
+type t = {
+  enabled : bool;
+  ncpus : int;
+  rings : Event.t Ring.t array;
+      (* one ring per CPU plus a final ring for machine-global events
+         (cpu = -1): grace-period bookkeeping has no owning CPU. *)
+  lifetime : Hist.t;
+  gp_latency : Hist.t;
+  lock_wait : Hist.t;
+  alloc_cost : Hist.t;
+}
+
+let default_ring_capacity = 65_536
+
+let create ?(ring_capacity = default_ring_capacity) ~ncpus () =
+  if ncpus <= 0 then invalid_arg "Tracer.create: ncpus must be positive";
+  {
+    enabled = true;
+    ncpus;
+    rings = Array.init (ncpus + 1) (fun _ -> Ring.create ~capacity:ring_capacity);
+    lifetime = Hist.create ();
+    gp_latency = Hist.create ();
+    lock_wait = Hist.create ();
+    alloc_cost = Hist.create ();
+  }
+
+let null =
+  {
+    enabled = false;
+    ncpus = 0;
+    rings = [||];
+    lifetime = Hist.create ();
+    gp_latency = Hist.create ();
+    lock_wait = Hist.create ();
+    alloc_cost = Hist.create ();
+  }
+
+let enabled t = t.enabled
+let ncpus t = t.ncpus
+
+let emit t ~time ~cpu ?(label = "") ?(arg = 0) kind =
+  if t.enabled then begin
+    let ring =
+      if cpu >= 0 && cpu < t.ncpus then t.rings.(cpu) else t.rings.(t.ncpus)
+    in
+    Ring.push ring { Event.time; cpu; kind; label; arg }
+  end
+
+let record_lifetime t ns = if t.enabled then Hist.record t.lifetime ns
+let record_gp_latency t ns = if t.enabled then Hist.record t.gp_latency ns
+let record_lock_wait t ns = if t.enabled then Hist.record t.lock_wait ns
+let record_alloc_cost t ns = if t.enabled then Hist.record t.alloc_cost ns
+
+let lifetime t = t.lifetime
+let gp_latency t = t.gp_latency
+let lock_wait t = t.lock_wait
+let alloc_cost t = t.alloc_cost
+
+let events t =
+  let all =
+    Array.fold_left (fun acc ring -> List.rev_append (Ring.to_list ring) acc) []
+      t.rings
+  in
+  (* Stable by construction within a ring; merge across rings by time. *)
+  List.stable_sort
+    (fun (a : Event.t) (b : Event.t) -> compare a.Event.time b.Event.time)
+    (List.rev all)
+
+let total_events t = Array.fold_left (fun acc r -> acc + Ring.length r) 0 t.rings
+let total_dropped t = Array.fold_left (fun acc r -> acc + Ring.dropped r) 0 t.rings

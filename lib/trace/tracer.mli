@@ -1,0 +1,49 @@
+(** The tracer: per-CPU bounded event rings plus the four latency
+    histograms of the paper's timing phenomena (deferred-object lifetime,
+    grace-period latency, lock wait, allocation-path cost).
+
+    A tracer is either live ({!create}) or the shared no-op {!null} sink:
+    every emission entry point checks {!enabled} first, so an untraced run
+    pays one branch and allocates nothing. Emission never charges virtual
+    time — tracing is pure observation and cannot perturb experiment
+    results. *)
+
+type t
+
+val create : ?ring_capacity:int -> ncpus:int -> unit -> t
+(** [create ~ncpus ()] builds a live tracer with one ring per CPU (plus one
+    for machine-global events) of [ring_capacity] events each (default
+    65536). On overflow the oldest events are dropped. *)
+
+val null : t
+(** The disabled sink: {!enabled} is [false], all operations are no-ops. *)
+
+val enabled : t -> bool
+val ncpus : t -> int
+
+val emit :
+  t -> time:int -> cpu:int -> ?label:string -> ?arg:int -> Event.kind -> unit
+(** Append an event stamped with virtual [time] on [cpu] ([-1] for
+    machine-global events). No-op when disabled. *)
+
+(** {1 Histograms} *)
+
+val record_lifetime : t -> int -> unit
+(** Deferred-object lifetime: defer to reuse, virtual ns. *)
+
+val record_gp_latency : t -> int -> unit
+val record_lock_wait : t -> int -> unit
+val record_alloc_cost : t -> int -> unit
+
+val lifetime : t -> Hist.t
+val gp_latency : t -> Hist.t
+val lock_wait : t -> Hist.t
+val alloc_cost : t -> Hist.t
+
+(** {1 Inspection} *)
+
+val events : t -> Event.t list
+(** All retained events, merged across rings, in virtual-time order. *)
+
+val total_events : t -> int
+val total_dropped : t -> int

@@ -18,6 +18,7 @@ type config = {
   prudence_config : Prudence.config;
   costs : Slab.Costs.t;
   track_readers : bool;
+  trace : int option;
 }
 
 let default_config =
@@ -32,6 +33,7 @@ let default_config =
     prudence_config = Prudence.default_config;
     costs = Slab.Costs.default;
     track_readers = false;
+    trace = None;
   }
 
 type t = {
@@ -45,6 +47,7 @@ type t = {
   readers : Rcu.Readers.t;
   backend : Slab.Backend.t;
   rng : Sim.Rng.t;
+  tracer : Trace.t;
 }
 
 let build cfg =
@@ -53,6 +56,12 @@ let build cfg =
     Sim.Machine.create eng ~cpus:cfg.cpus ~nodes:cfg.nodes ~tick_ns:cfg.tick_ns
       ()
   in
+  let tracer =
+    match cfg.trace with
+    | None -> Trace.null
+    | Some ring_capacity -> Trace.create ~ring_capacity ~ncpus:cfg.cpus ()
+  in
+  Sim.Machine.set_tracer machine tracer;
   Sim.Machine.start machine;
   let buddy = Mem.Buddy.create ~total_pages:cfg.total_pages () in
   let pressure = Mem.Pressure.create buddy () in
@@ -80,6 +89,7 @@ let build cfg =
     readers;
     backend;
     rng = Sim.Rng.split (Sim.Engine.rng eng);
+    tracer;
   }
 
 let cpu t i = Sim.Machine.cpu t.machine i

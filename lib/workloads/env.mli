@@ -22,6 +22,10 @@ type config = {
   costs : Slab.Costs.t;
   track_readers : bool;
       (** Arm the premature-reuse safety checker (small overhead). *)
+  trace : int option;
+      (** [Some ring_capacity]: install a live {!Trace} tracer on the
+          machine (per-CPU event rings of that capacity + latency
+          histograms). [None] (default): tracing disabled, zero overhead. *)
 }
 
 val default_config : config
@@ -38,6 +42,7 @@ type t = {
   readers : Rcu.Readers.t;
   backend : Slab.Backend.t;
   rng : Sim.Rng.t;
+  tracer : Trace.t;  (** The machine's tracer; {!Trace.null} when off. *)
 }
 
 val build : config -> t

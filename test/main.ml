@@ -22,6 +22,7 @@ let () =
       ("prudence", Test_prudence.suite);
       ("rcudata", Test_rcudata.suite);
       ("rcudata.tree", Test_rcutree.suite);
+      ("trace", Test_trace.suite);
       ("metrics", Test_metrics.suite);
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);

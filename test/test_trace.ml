@@ -1,0 +1,272 @@
+(* The trace library: bounded rings, HDR histograms, the null sink,
+   Chrome export well-formedness, and a traced mini-run whose grace
+   periods must pair up in virtual-time order. *)
+
+(* ---------------- ring buffer ---------------- *)
+
+let test_ring_basic () =
+  let r = Trace.Ring.create ~capacity:4 in
+  Alcotest.(check int) "empty" 0 (Trace.Ring.length r);
+  List.iter (fun i -> Trace.Ring.push r i) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Trace.Ring.to_list r);
+  Alcotest.(check int) "no drops" 0 (Trace.Ring.dropped r)
+
+let test_ring_overflow_drops_oldest () =
+  let r = Trace.Ring.create ~capacity:4 in
+  List.iter (fun i -> Trace.Ring.push r i) [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check int) "full" 4 (Trace.Ring.length r);
+  Alcotest.(check (list int)) "oldest gone" [ 3; 4; 5; 6 ]
+    (Trace.Ring.to_list r);
+  Alcotest.(check int) "two dropped" 2 (Trace.Ring.dropped r);
+  Trace.Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Trace.Ring.length r);
+  Trace.Ring.push r 7;
+  Alcotest.(check (list int)) "reusable after clear" [ 7 ]
+    (Trace.Ring.to_list r)
+
+let test_ring_ordering_preserved () =
+  let r = Trace.Ring.create ~capacity:16 in
+  for i = 1 to 1000 do
+    Trace.Ring.push r i
+  done;
+  Alcotest.(check (list int)) "last 16 in push order"
+    (List.init 16 (fun i -> 985 + i))
+    (Trace.Ring.to_list r);
+  Alcotest.(check int) "dropped the rest" 984 (Trace.Ring.dropped r)
+
+let test_ring_invalid_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Trace.Ring.create ~capacity:0))
+
+(* ---------------- histogram ---------------- *)
+
+let test_hist_exact_below_32 () =
+  let h = Trace.Hist.create () in
+  List.iter (Trace.Hist.record h) [ 0; 1; 5; 31 ];
+  Alcotest.(check int) "count" 4 (Trace.Hist.count h);
+  Alcotest.(check int) "min" 0 (Trace.Hist.min_value h);
+  Alcotest.(check int) "max" 31 (Trace.Hist.max_value h);
+  Alcotest.(check int) "p100 exact" 31 (Trace.Hist.percentile h 100.);
+  Alcotest.(check int) "p25 exact" 0 (Trace.Hist.percentile h 25.)
+
+let test_hist_empty () =
+  let h = Trace.Hist.create () in
+  Alcotest.(check int) "p50 of empty" 0 (Trace.Hist.percentile h 50.);
+  Alcotest.(check int) "count" 0 (Trace.Hist.count h)
+
+(* One sample: every percentile must round-trip to within the bucket's
+   1/16 relative width. *)
+let prop_hist_roundtrip =
+  QCheck.Test.make ~name:"hist percentile round-trips within 1/16"
+    ~count:500
+    QCheck.(int_bound 1_000_000_000)
+    (fun v ->
+      let h = Trace.Hist.create () in
+      Trace.Hist.record h v;
+      let r = Trace.Hist.percentile h 50. in
+      r <= v && v - r <= (v / 16) + 1)
+
+let prop_hist_percentile_monotonic =
+  QCheck.Test.make ~name:"hist percentiles are monotonic in p" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (int_bound 10_000_000))
+    (fun vs ->
+      let h = Trace.Hist.create () in
+      List.iter (Trace.Hist.record h) vs;
+      let ps = [ 1.; 10.; 25.; 50.; 75.; 90.; 99.; 100. ] in
+      let rs = List.map (Trace.Hist.percentile h) ps in
+      (* pairwise non-decreasing *)
+      fst
+        (List.fold_left
+           (fun (ok, prev) r -> (ok && r >= prev, r))
+           (true, List.hd rs) (List.tl rs)))
+
+let prop_hist_mean_bounded =
+  QCheck.Test.make ~name:"hist mean lies within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (int_bound 1_000_000))
+    (fun vs ->
+      let h = Trace.Hist.create () in
+      List.iter (Trace.Hist.record h) vs;
+      let m = Trace.Hist.mean h in
+      float_of_int (Trace.Hist.min_value h) <= m
+      && m <= float_of_int (Trace.Hist.max_value h))
+
+(* ---------------- null sink ---------------- *)
+
+let test_null_sink () =
+  Alcotest.(check bool) "disabled" false (Trace.enabled Trace.null);
+  Trace.emit Trace.null ~time:1 ~cpu:0 Trace.Event.Alloc_hit;
+  Trace.record_lifetime Trace.null 42;
+  Alcotest.(check int) "no events" 0 (Trace.total_events Trace.null);
+  Alcotest.(check int) "no samples" 0
+    (Trace.Hist.count (Trace.lifetime Trace.null))
+
+let test_emit_merge_order () =
+  let tr = Trace.create ~ring_capacity:8 ~ncpus:2 () in
+  Trace.emit tr ~time:30 ~cpu:1 Trace.Event.Alloc_hit;
+  Trace.emit tr ~time:10 ~cpu:0 Trace.Event.Alloc_miss;
+  Trace.emit tr ~time:20 ~cpu:(-1) ~arg:7 Trace.Event.Gp_start;
+  let times = List.map (fun (e : Trace.Event.t) -> e.Trace.Event.time)
+      (Trace.events tr) in
+  Alcotest.(check (list int)) "merged by time" [ 10; 20; 30 ] times;
+  Alcotest.(check int) "total" 3 (Trace.total_events tr)
+
+(* ---------------- traced mini-run ---------------- *)
+
+let tiny =
+  {
+    Core.Experiments.default_params with
+    Core.Experiments.scale = 0.03;
+    cpus = 2;
+  }
+
+let traced_runs = lazy (
+  match Core.Experiments.run_traced tiny "fig6" with
+  | Some runs -> runs
+  | None -> Alcotest.fail "fig6 not traceable")
+
+(* Grace periods are strictly sequential: starts and ends must alternate,
+   every end matches the latest start's cookie, and virtual time never
+   goes backwards across the pairs. *)
+let test_gp_pairs_nest () =
+  List.iter
+    (fun (label, tr) ->
+      let gps =
+        List.filter
+          (fun (e : Trace.Event.t) ->
+            e.Trace.Event.kind = Trace.Event.Gp_start
+            || e.Trace.Event.kind = Trace.Event.Gp_end)
+          (Trace.events tr)
+      in
+      Alcotest.(check bool) (label ^ " saw grace periods") true
+        (List.length gps > 2);
+      let open_gp = ref None in
+      let last_time = ref 0 in
+      List.iter
+        (fun (e : Trace.Event.t) ->
+          Alcotest.(check bool)
+            (label ^ " time monotone") true
+            (e.Trace.Event.time >= !last_time);
+          last_time := e.Trace.Event.time;
+          match (e.Trace.Event.kind, !open_gp) with
+          | Trace.Event.Gp_start, None ->
+              open_gp := Some e.Trace.Event.arg
+          | Trace.Event.Gp_start, Some _ ->
+              Alcotest.failf "%s: nested Gp_start at %d" label
+                e.Trace.Event.time
+          | Trace.Event.Gp_end, Some seq ->
+              Alcotest.(check int) (label ^ " end matches start") seq
+                e.Trace.Event.arg;
+              open_gp := None
+          | Trace.Event.Gp_end, None ->
+              Alcotest.failf "%s: Gp_end without start at %d" label
+                e.Trace.Event.time
+          | _ -> ())
+        gps)
+    (Lazy.force traced_runs)
+
+let test_traced_lifetimes () =
+  let runs = Lazy.force traced_runs in
+  let hist label = Trace.lifetime (List.assoc label runs) in
+  Alcotest.(check bool) "prudence reuses deferred objects" true
+    (Trace.Hist.count (hist "prudence") > 0);
+  (* The headline acceptance shape: deferred objects wait longer under
+     the baseline than under Prudence. *)
+  if Trace.Hist.count (hist "slub") > 0 then
+    Alcotest.(check bool) "slub lifetimes exceed prudence's" true
+      (Trace.Hist.percentile (hist "slub") 50.
+      >= Trace.Hist.percentile (hist "prudence") 50.)
+
+let test_tracing_is_pure_observation () =
+  (* Same experiment, tracing on vs off: virtual results must be bit-
+     identical (tracing charges no virtual time). *)
+  let run trace =
+    let p = { tiny with Core.Experiments.trace } in
+    let slub, prud = Core.Experiments.microbench_pair p ~obj_size:512 in
+    ( slub.Workloads.Microbench.pairs_per_sec,
+      prud.Workloads.Microbench.pairs_per_sec )
+  in
+  let off = run None and on_ = run (Some 1024) in
+  Alcotest.(check (pair (float 0.) (float 0.))) "identical results" off on_
+
+(* ---------------- Chrome export ---------------- *)
+
+(* No JSON parser in the tree: check structure by hand — balanced
+   braces/brackets outside strings, expected top-level keys, and the
+   pair-slice phase present. *)
+let json_balanced s =
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_str := false
+        else ()
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' -> decr depth
+        | _ -> ())
+    s;
+  (not !in_str) && !depth = 0
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_chrome_export () =
+  let json = Trace.Chrome.to_string (Lazy.force traced_runs) in
+  Alcotest.(check bool) "balanced" true (json_balanced json);
+  Alcotest.(check bool) "traceEvents" true (contains ~sub:"\"traceEvents\"" json);
+  Alcotest.(check bool) "metadata" true (contains ~sub:"process_name" json);
+  Alcotest.(check bool) "gp slices" true (contains ~sub:"grace-period" json);
+  Alcotest.(check bool) "instants" true (contains ~sub:"\"ph\":\"i\"" json)
+
+let test_chrome_escape () =
+  let tr = Trace.create ~ring_capacity:8 ~ncpus:1 () in
+  Trace.emit tr ~time:1 ~cpu:0 ~label:"we\"ird\\cache\n" Trace.Event.Alloc_hit;
+  let json = Trace.Chrome.to_string [ ("r", tr) ] in
+  Alcotest.(check bool) "escaped label balanced" true (json_balanced json)
+
+let test_histview_render () =
+  let h = Trace.Hist.create () in
+  List.iter (Trace.Hist.record h) [ 100; 200; 200; 5_000; 1_000_000 ];
+  let s = Metrics.Histview.render ~title:"t" h in
+  Alcotest.(check bool) "has summary" true (contains ~sub:"5 samples" s);
+  Alcotest.(check bool) "has bars" true (contains ~sub:"|#" s);
+  Alcotest.(check string) "empty hist" "e: (no samples)\n"
+    (Metrics.Histview.render ~title:"e" (Trace.Hist.create ()))
+
+let suite =
+  [
+    Alcotest.test_case "ring: basic push/iter" `Quick test_ring_basic;
+    Alcotest.test_case "ring: overflow drops oldest" `Quick
+      test_ring_overflow_drops_oldest;
+    Alcotest.test_case "ring: ordering preserved under churn" `Quick
+      test_ring_ordering_preserved;
+    Alcotest.test_case "ring: rejects capacity <= 0" `Quick
+      test_ring_invalid_capacity;
+    Alcotest.test_case "hist: exact below 32" `Quick test_hist_exact_below_32;
+    Alcotest.test_case "hist: empty" `Quick test_hist_empty;
+    QCheck_alcotest.to_alcotest prop_hist_roundtrip;
+    QCheck_alcotest.to_alcotest prop_hist_percentile_monotonic;
+    QCheck_alcotest.to_alcotest prop_hist_mean_bounded;
+    Alcotest.test_case "null sink is inert" `Quick test_null_sink;
+    Alcotest.test_case "emit: events merge in time order" `Quick
+      test_emit_merge_order;
+    Alcotest.test_case "traced run: GP start/end pairs nest" `Slow
+      test_gp_pairs_nest;
+    Alcotest.test_case "traced run: lifetime histograms populated" `Slow
+      test_traced_lifetimes;
+    Alcotest.test_case "tracing is pure observation" `Slow
+      test_tracing_is_pure_observation;
+    Alcotest.test_case "chrome: export is well-formed" `Slow test_chrome_export;
+    Alcotest.test_case "chrome: labels escaped" `Quick test_chrome_escape;
+    Alcotest.test_case "histview: renders summary and bars" `Quick
+      test_histview_render;
+  ]
