@@ -13,6 +13,14 @@ let list_experiments () =
   0
 
 let params scale seed cpus runs =
+  if cpus <= 0 then begin
+    Format.eprintf "--cpus must be positive (got %d)@." cpus;
+    exit 2
+  end;
+  if runs <= 0 then begin
+    Format.eprintf "--runs must be positive (got %d)@." runs;
+    exit 2
+  end;
   { Core.Experiments.scale; seed; cpus; runs; trace = None }
 
 let run_experiment ids p =
@@ -87,6 +95,38 @@ let trace_experiment id out want_hists ring p =
       Format.printf "wrote %s (load it at https://ui.perfetto.dev or \
                      chrome://tracing)@." out;
       0
+
+let run_chaos names ring p =
+  if ring <= 0 then begin
+    Format.eprintf "--ring must be positive (got %d)@." ring;
+    exit 2
+  end;
+  let scenarios =
+    let names = if names = [] then [ "all" ] else names in
+    if names = [ "all" ] then Core.Workloads.Chaos.all_scenarios
+    else
+      List.map
+        (fun name ->
+          match Core.Workloads.Chaos.scenario_of_string name with
+          | Some s -> s
+          | None ->
+              Format.eprintf "unknown scenario %S; scenarios: %s, all@." name
+                (String.concat ", "
+                   (List.map Core.Workloads.Chaos.scenario_name
+                      Core.Workloads.Chaos.all_scenarios));
+              exit 2)
+        names
+  in
+  let cp =
+    {
+      Core.Chaos.seed = p.Core.Experiments.seed;
+      cpus = p.Core.Experiments.cpus;
+      scale = p.Core.Experiments.scale;
+      ring;
+    }
+  in
+  Core.Metrics.Report.print Format.std_formatter (Core.Chaos.report cp scenarios);
+  0
 
 open Cmdliner
 
@@ -169,6 +209,26 @@ let trace_cmd =
           Chrome trace and print latency histograms")
     Term.(const trace_experiment $ id $ out $ hists $ ring $ params_term)
 
+let chaos_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenarios (clean, stalled-reader, cb-flood, pressure-spike, \
+                alloc-fault) or 'all' (default).")
+  in
+  let ring =
+    let doc = "Per-CPU event-ring capacity for the GP-latency histogram." in
+    Arg.(value & opt int 16_384 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run fault-injection scenarios over both allocators and print a \
+          survival/degradation report (RCU stall warnings, grace-period p99, \
+          backoff retries, emergency flushes)")
+    Term.(const run_chaos $ names $ ring $ params_term)
+
 let main_cmd =
   let doc =
     "Reproduction of 'Prudent Memory Reclamation in Procrastination-Based \
@@ -176,6 +236,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
-    [ list_cmd; run_cmd; trace_cmd ]
+    [ list_cmd; run_cmd; trace_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

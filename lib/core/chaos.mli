@@ -1,0 +1,27 @@
+(** Chaos scenario matrix: runs {!Workloads.Chaos} scenarios over both
+    allocators and renders one survival/degradation report. Not part of
+    the {!Experiments} registry — chaos runs are driven explicitly via
+    the [chaos] CLI subcommand (or tests) so the paper-experiment outputs
+    stay untouched. *)
+
+type params = {
+  seed : int;
+  cpus : int;
+  scale : float;  (** Multiplies the scenario's virtual duration. *)
+  ring : int;  (** Trace ring capacity. *)
+}
+
+val default_params : params
+(** seed 42, 8 CPUs, scale 1.0 (3 s virtual), ring 16384. *)
+
+val config_for : params -> Workloads.Chaos.scenario -> Workloads.Chaos.config
+
+val run_scenario :
+  params ->
+  Workloads.Chaos.scenario ->
+  Workloads.Chaos.outcome * Workloads.Chaos.outcome
+(** (baseline, prudence) outcomes for one scenario. *)
+
+val report : params -> Workloads.Chaos.scenario list -> Metrics.Report.t
+(** One report with two rows (slub, prudence) per scenario. Deterministic:
+    same params and scenario list render byte-identical output. *)

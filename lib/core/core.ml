@@ -15,5 +15,6 @@ module Rcudata = Rcudata
 module Workloads = Workloads
 module Metrics = Metrics
 module Experiments = Experiments
+module Chaos = Chaos
 
 let version = "1.0.0"

@@ -1,0 +1,9 @@
+(** Facade: deterministic fault plans and their injector.
+
+    The robustness counterpart of the observability layer: {!Plan} names
+    the adversarial inputs (stalled readers, wedged CPUs, transient
+    allocation failures, pressure spikes, callback floods) and {!Injector}
+    schedules them into a simulation as ordinary — reproducible — events. *)
+
+module Plan = Plan
+module Injector = Injector

@@ -1,0 +1,41 @@
+type spec =
+  | Stalled_reader of { cpu : int; at_ns : int; hold_ns : int option }
+  | Cpu_stall of { cpu : int; at_ns : int; duration_ns : int }
+  | Alloc_fault of { at_ns : int; duration_ns : int; fail_prob : float }
+  | Pressure_spike of { at_ns : int; duration_ns : int; pages : int }
+  | Cb_flood of { cpu : int; at_ns : int; duration_ns : int; per_ms : int }
+
+type t = { seed : int; specs : spec list }
+
+let make ~seed specs = { seed; specs }
+let empty = { seed = 0; specs = [] }
+
+let spec_name = function
+  | Stalled_reader _ -> "stalled-reader"
+  | Cpu_stall _ -> "cpu-stall"
+  | Alloc_fault _ -> "alloc-fault"
+  | Pressure_spike _ -> "pressure-spike"
+  | Cb_flood _ -> "cb-flood"
+
+let pp_spec fmt = function
+  | Stalled_reader { cpu; at_ns; hold_ns } ->
+      Format.fprintf fmt "stalled-reader cpu%d at=%dns hold=%s" cpu at_ns
+        (match hold_ns with
+        | Some h -> Printf.sprintf "%dns" h
+        | None -> "forever")
+  | Cpu_stall { cpu; at_ns; duration_ns } ->
+      Format.fprintf fmt "cpu-stall cpu%d at=%dns for=%dns" cpu at_ns
+        duration_ns
+  | Alloc_fault { at_ns; duration_ns; fail_prob } ->
+      Format.fprintf fmt "alloc-fault at=%dns for=%dns p=%.2f" at_ns
+        duration_ns fail_prob
+  | Pressure_spike { at_ns; duration_ns; pages } ->
+      Format.fprintf fmt "pressure-spike at=%dns for=%dns pages=%d" at_ns
+        duration_ns pages
+  | Cb_flood { cpu; at_ns; duration_ns; per_ms } ->
+      Format.fprintf fmt "cb-flood cpu%d at=%dns for=%dns rate=%d/ms" cpu
+        at_ns duration_ns per_ms
+
+let pp fmt t =
+  Format.fprintf fmt "fault plan (seed=%d):" t.seed;
+  List.iter (fun s -> Format.fprintf fmt "@.  %a" pp_spec s) t.specs

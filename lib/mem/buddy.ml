@@ -15,6 +15,10 @@ type t = {
   mutable allocs : int;
   mutable frees : int;
   mutable failures : int;
+  (* Fault injection: when set, consulted before every alloc; returning
+     true refuses the request. Counted separately from genuine failures. *)
+  mutable fail_hook : (order:int -> bool) option;
+  mutable injected_failures : int;
 }
 
 let create ?(page_size = 4096) ?(max_order = 10) ~total_pages () =
@@ -32,6 +36,8 @@ let create ?(page_size = 4096) ?(max_order = 10) ~total_pages () =
       allocs = 0;
       frees = 0;
       failures = 0;
+      fail_hook = None;
+      injected_failures = 0;
     }
   in
   (* Seed the free lists: greedily carve the page range into the largest
@@ -60,6 +66,16 @@ let peak_used_pages t = t.peak_used
 let alloc_count t = t.allocs
 let free_count t = t.frees
 let failed_allocs t = t.failures
+let injected_failures t = t.injected_failures
+let set_fail_hook t hook = t.fail_hook <- hook
+
+let would_satisfy t ~order =
+  if order < 0 || order > t.max_order then
+    invalid_arg "Buddy.would_satisfy: order out of range";
+  let rec scan o =
+    o <= t.max_order && (Hashtbl.length t.free.(o) > 0 || scan (o + 1))
+  in
+  scan order
 
 let largest_free_order t =
   let rec scan o = if o < 0 then -1 else if Hashtbl.length t.free.(o) > 0 then o else scan (o - 1) in
@@ -83,6 +99,11 @@ let take_any tbl =
 let alloc t ~order =
   if order < 0 || order > t.max_order then
     invalid_arg "Buddy.alloc: order out of range";
+  match t.fail_hook with
+  | Some hook when hook ~order ->
+      t.injected_failures <- t.injected_failures + 1;
+      None
+  | _ ->
   (* Find the smallest order >= requested with a free block. *)
   let rec find o =
     if o > t.max_order then None

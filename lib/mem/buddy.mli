@@ -43,7 +43,24 @@ val alloc_count : t -> int
 (** Successful allocations so far. *)
 
 val free_count : t -> int
+
 val failed_allocs : t -> int
+(** Genuine failures: no free block of sufficient order existed. Does not
+    include injected refusals (see {!injected_failures}). *)
+
+val set_fail_hook : t -> (order:int -> bool) option -> unit
+(** Fault injection: install a predicate consulted before every {!alloc};
+    returning [true] refuses the request ([alloc] returns [None]) without
+    touching the free lists. [None] (the default) disables injection. *)
+
+val injected_failures : t -> int
+(** Allocations refused by the fail hook; disjoint from {!failed_allocs}. *)
+
+val would_satisfy : t -> order:int -> bool
+(** [would_satisfy t ~order] is [true] iff a free block of order >= [order]
+    exists — i.e. an [alloc] failure at this instant was injected, not
+    genuine exhaustion. Lets callers distinguish transient faults (worth
+    retrying with backoff) from real OOM. *)
 
 val largest_free_order : t -> int
 (** Largest order with a free block, or -1 if memory is exhausted. *)

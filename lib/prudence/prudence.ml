@@ -9,6 +9,7 @@ type config = {
   preflush_interval_ns : int;
   latent_cap : int option;
   wait_on_oom : bool;
+  emergency_flush : bool;
   unsafe_skip_gp : bool;
 }
 
@@ -20,6 +21,7 @@ let default_config =
     preflush_interval_ns = 5_000;
     latent_cap = None;
     wait_on_oom = true;
+    emergency_flush = false;
     unsafe_skip_gp = false;
   }
 
@@ -113,6 +115,62 @@ let demote_to_latent_slab t (cache : Frame.cache) (pc : Frame.pcpu) obj =
   end;
   ignore pc;
   !cost
+
+(* Graceful degradation under Critical pressure: give back everything that
+   is already safe — drain ripe latent-cache objects down to their slabs,
+   harvest every ripe latent-slab object, and eagerly shrink free slabs to
+   the floor — before the allocator resorts to the OOM-delay path. Never
+   waits (no process context required): only objects whose grace period has
+   already completed move. Returns the number of latent objects freed. *)
+let emergency_reclaim t =
+  let horizon = completed t in
+  let total = ref 0 in
+  List.iter
+    (fun (_, (cache : Frame.cache)) ->
+      Array.iter
+        (fun (pc : Frame.pcpu) ->
+          let rec drain () =
+            match Frame.latent_cache_pop_ripe cache pc ~completed:horizon with
+            | Some obj ->
+                ignore (demote_to_latent_slab t cache pc obj);
+                drain ()
+            | None -> ()
+          in
+          drain ())
+        cache.Frame.pcpus;
+      let freed = ref 0 in
+      Array.iter
+        (fun (node : Frame.node) ->
+          List.iter
+            (fun slab ->
+              let n = Frame.slab_harvest_ripe slab ~completed:horizon in
+              if n > 0 then begin
+                freed := !freed + n;
+                ignore (Frame.relocate cache slab)
+              end)
+            (Sim.Dlist.to_list node.Frame.latent_slabs);
+          let cpu = cache.Frame.pcpus.(0).Frame.cpu in
+          while Frame.shrink_node ~keep:0 cache cpu node > 0 do
+            ()
+          done)
+        cache.Frame.nodes;
+      if !freed > 0 then begin
+        Stats.emergency_flush cache.Frame.stats ~n:!freed;
+        Frame.trace_event cache cache.Frame.pcpus.(0).Frame.cpu ~arg:!freed
+          Trace.Event.Emergency_flush
+      end;
+      total := !total + !freed)
+    t.caches;
+  !total
+
+let attach_pressure t pressure =
+  if t.cfg.emergency_flush then begin
+    Mem.Pressure.on_level_change pressure (fun level ->
+        match level with
+        | Mem.Pressure.Critical -> ignore (emergency_reclaim t)
+        | Mem.Pressure.Normal | Mem.Pressure.Low -> ());
+    Mem.Pressure.on_oom pressure (fun () -> emergency_reclaim t > 0)
+  end
 
 (* Idle-time pre-flush (§4.2 "latent cache pre-flush"). Runs as idle work:
    costs are not charged to the workload, but lock holds still occupy the
@@ -238,15 +296,43 @@ and alloc_slow t ~may_wait (cache : Frame.cache) cpu (pc : Frame.pcpu) =
       | _, Some obj ->
           Frame.hand_to_user cache cpu obj;
           Some obj
-      | _, None ->
-          (* l.31-33: delay OOM if deferred objects will become free. *)
-          if may_wait && t.cfg.wait_on_oom && latent_outstanding t > 0 then begin
-            Stats.oom_delayed cache.Frame.stats;
-            Rcu.request_gp t.rcu;
-            Rcu.synchronize t.rcu;
-            alloc_inner t ~may_wait:false cache cpu
-          end
-          else None)
+      | _, None -> (
+          (* Degradation ladder: before suspending for a grace period,
+             emergency-flush whatever is already ripe and eagerly shrink,
+             then retry the refill — reclaim that needs no waiting. *)
+          let emergency =
+            if t.cfg.emergency_flush && emergency_reclaim t > 0 then begin
+              let got =
+                Frame.refill_from_node cache cpu ~want:1
+                  ~select:Frame.select_slub
+              in
+              let got =
+                if got > 0 then got
+                else
+                  match Frame.grow cache cpu with
+                  | Some _ ->
+                      Frame.refill_from_node cache cpu ~want:1
+                        ~select:Frame.select_slub
+                  | None -> 0
+              in
+              if got > 0 then Frame.pop_ocache pc else None
+            end
+            else None
+          in
+          match emergency with
+          | Some obj ->
+              Frame.hand_to_user cache cpu obj;
+              Some obj
+          | None ->
+              (* l.31-33: delay OOM if deferred objects will become free. *)
+              if may_wait && t.cfg.wait_on_oom && latent_outstanding t > 0
+              then begin
+                Stats.oom_delayed cache.Frame.stats;
+                Rcu.request_gp t.rcu;
+                Rcu.synchronize t.rcu;
+                alloc_inner t ~may_wait:false cache cpu
+              end
+              else None))
 
 let alloc t ?(may_wait = true) (cache : Frame.cache) (cpu : Sim.Machine.cpu) =
   let tr = Frame.tracer cache in

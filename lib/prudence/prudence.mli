@@ -40,6 +40,11 @@ type config = {
   wait_on_oom : bool;
       (** Delay OOM by waiting for a grace period when deferred objects
           exist. *)
+  emergency_flush : bool;
+      (** Graceful degradation (default off): under [Critical] memory
+          pressure — and as a last step before the OOM delay — flush ripe
+          latent objects back to their slabs and eagerly shrink free slabs,
+          reclaiming everything that needs no further waiting. *)
   unsafe_skip_gp : bool;
       (** Fault injection: treat every deferred object as immediately
           ripe. Violates RCU safety — used to prove the
@@ -82,6 +87,19 @@ val merge_caches : t -> Slab.Frame.cache -> Slab.Frame.pcpu -> int
 (** Algorithm 1 MERGE_CACHES: move ripe latent-cache objects into the
     object cache until it is full; returns objects moved. Exposed for
     tests. *)
+
+val emergency_reclaim : t -> int
+(** Reclaim without waiting: drain ripe latent-cache objects to their
+    slabs, harvest every ripe latent-slab object, eagerly shrink free
+    slabs to the floor. Returns latent objects freed. Safe outside process
+    context (never suspends). Counted as emergency flushes in the cache
+    stats and traced as [Emergency_flush]. *)
+
+val attach_pressure : t -> Mem.Pressure.t -> unit
+(** When [config.emergency_flush] is set, register {!emergency_reclaim} to
+    run on the transition to [Critical] pressure and as an OOM handler
+    (reporting progress so the failed allocation retries). No-op
+    otherwise. *)
 
 val settle : t -> unit
 (** Process-context helper: wait for grace periods and recycle every

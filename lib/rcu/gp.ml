@@ -5,6 +5,7 @@ type config = {
   softirq_period_ns : int;
   enqueue_cost_ns : int;
   invoke_cost_ns : int;
+  stall_timeout_ns : int option;
 }
 
 let default_config =
@@ -21,6 +22,10 @@ let default_config =
     (* Invoking a callback touches a cache-cold object and the segcblist
        bookkeeping; substantially more expensive than the enqueue. *)
     invoke_cost_ns = 150;
+    (* Stall detection is opt-in (like CONFIG_RCU_CPU_STALL_TIMEOUT): the
+       detector adds daemon events, so keeping it off preserves existing
+       schedules byte-for-byte. *)
+    stall_timeout_ns = None;
   }
 
 type stats = {
@@ -31,7 +36,10 @@ type stats = {
   softirq_passes : int;
   max_backlog : int;
   expedited_transitions : int;
+  stall_warnings : int;
 }
+
+type stall_warning = { at_ns : int; gp_seq : int; holdouts : int list }
 
 type pcpu = {
   cpu : Sim.Machine.cpu;
@@ -62,6 +70,8 @@ type t = {
   mutable s_softirq_passes : int;
   mutable s_max_backlog : int;
   mutable s_expedited_transitions : int;
+  mutable s_stall_warnings : int;
+  mutable stall_log : stall_warning list; (* newest first *)
 }
 
 let machine t = t.machine
@@ -130,14 +140,44 @@ let rec start_gp t =
   t.gp_active <- true;
   t.gp_requested <- false;
   t.s_gps_started <- t.s_gps_started + 1;
+  t.gp_started_at <- now t;
   (let tr = tracer t in
-   if Trace.enabled tr then begin
-     t.gp_started_at <- now t;
+   if Trace.enabled tr then
      Trace.emit tr ~time:t.gp_started_at ~cpu:(-1) ~arg:t.s_gps_started
-       Trace.Event.Gp_start
-   end);
+       Trace.Event.Gp_start);
   Array.fill t.qs_needed 0 (Array.length t.qs_needed) true;
-  t.qs_remaining <- Array.length t.qs_needed
+  t.qs_remaining <- Array.length t.qs_needed;
+  arm_stall_check t t.s_gps_started
+
+(* Modelled on the kernel's CONFIG_RCU_CPU_STALL_TIMEOUT: a daemon event
+   fires [stall_timeout_ns] after each grace period starts; if that same
+   grace period is still active, the CPUs yet to report a quiescent state
+   are the holdouts. Re-arms so a forever-stalled reader warns repeatedly,
+   like the kernel's follow-up stall splats. *)
+and arm_stall_check t seq =
+  match t.cfg.stall_timeout_ns with
+  | None -> ()
+  | Some timeout ->
+      ignore
+        (Sim.Engine.schedule ~daemon:true t.engine ~after:timeout (fun () ->
+             if t.gp_active && t.s_gps_started = seq then begin
+               let holdouts = ref [] in
+               for i = Array.length t.qs_needed - 1 downto 0 do
+                 if t.qs_needed.(i) then holdouts := i :: !holdouts
+               done;
+               t.s_stall_warnings <- t.s_stall_warnings + 1;
+               t.stall_log <-
+                 { at_ns = now t; gp_seq = seq; holdouts = !holdouts }
+                 :: t.stall_log;
+               (let tr = tracer t in
+                if Trace.enabled tr then
+                  List.iter
+                    (fun cpu ->
+                      Trace.emit tr ~time:(now t) ~cpu ~arg:seq
+                        Trace.Event.Rcu_stall)
+                    !holdouts);
+               arm_stall_check t seq
+             end))
 
 and complete_gp t =
   assert (t.gp_active);
@@ -159,7 +199,9 @@ and complete_gp t =
     t.percpu;
   List.iter (fun fn -> fn t.completed_gps) t.gp_hooks;
   Sim.Process.Cond.broadcast t.gp_cond;
-  if t.gp_requested || !waiting_remain then start_gp t
+  (* A gp hook may already have started the next grace period (e.g. the
+     allocator requesting one for outstanding latent objects). *)
+  if (t.gp_requested || !waiting_remain) && not t.gp_active then start_gp t
 
 let quiescent_state t (cpu : Sim.Machine.cpu) =
   if t.gp_active && t.qs_needed.(cpu.id) then begin
@@ -236,14 +278,19 @@ let stats t =
     softirq_passes = t.s_softirq_passes;
     max_backlog = t.s_max_backlog;
     expedited_transitions = t.s_expedited_transitions;
+    stall_warnings = t.s_stall_warnings;
   }
+
+let stall_warnings t = List.rev t.stall_log
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "gps=%d/%d cbs=%d queued / %d invoked, softirq passes=%d, max backlog=%d, \
-     expedited transitions=%d"
+     expedited transitions=%d%s"
     s.gps_completed s.gps_started s.cbs_queued s.cbs_invoked s.softirq_passes
     s.max_backlog s.expedited_transitions
+    (if s.stall_warnings = 0 then ""
+     else Printf.sprintf ", STALL WARNINGS=%d" s.stall_warnings)
 
 let create ?(config = default_config) machine =
   let ncpus = Sim.Machine.nr_cpus machine in
@@ -276,6 +323,8 @@ let create ?(config = default_config) machine =
       s_softirq_passes = 0;
       s_max_backlog = 0;
       s_expedited_transitions = 0;
+      s_stall_warnings = 0;
+      stall_log = [];
     }
   in
   Sim.Machine.on_context_switch machine (fun cpu -> quiescent_state t cpu);

@@ -33,6 +33,12 @@ type config = {
           callbacks. *)
   enqueue_cost_ns : int;  (** CPU cost charged by {!call_rcu}. *)
   invoke_cost_ns : int;  (** CPU cost charged per invoked callback. *)
+  stall_timeout_ns : int option;
+      (** Grace-period budget for the stall detector (the kernel's
+          [CONFIG_RCU_CPU_STALL_TIMEOUT], typically 21 s). When a grace
+          period is still active this long after starting, a warning is
+          recorded naming the holdout CPUs, and the check re-arms.
+          [None] (default) disables detection entirely. *)
 }
 
 val default_config : config
@@ -110,7 +116,20 @@ type stats = {
   softirq_passes : int;
   max_backlog : int;  (** High-water mark of {!pending_callbacks}. *)
   expedited_transitions : int;
+  stall_warnings : int;  (** Stall-detector firings (see {!stall_warnings}). *)
 }
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+type stall_warning = {
+  at_ns : int;  (** Virtual time the warning fired. *)
+  gp_seq : int;  (** Sequence number of the stalled grace period. *)
+  holdouts : int list;
+      (** CPUs that had not yet reported a quiescent state, ascending. *)
+}
+
+val stall_warnings : t -> stall_warning list
+(** All stall warnings recorded so far, oldest first. Empty unless
+    [config.stall_timeout_ns] is set. Each warning also emits one
+    [Rcu_stall] trace event per holdout CPU when tracing is armed. *)

@@ -4,7 +4,9 @@ type cpu = {
   mutable pending_ns : int;
   mutable rcu_nesting : int;
   mutable idle : bool;
+  mutable stalled : bool;
   mutable ctx_switches : int;
+  mutable suppressed_ticks : int;
   mutable idle_work : (unit -> unit) list;
 }
 
@@ -30,7 +32,9 @@ let create engine ~cpus ?(nodes = 1) ?(tick_ns = 1_000_000) () =
       pending_ns = 0;
       rcu_nesting = 0;
       idle = false;
+      stalled = false;
       ctx_switches = 0;
+      suppressed_ticks = 0;
       idle_work = [];
     }
   in
@@ -72,7 +76,8 @@ let start t =
         (* Stagger ticks across CPUs to avoid artificial synchrony. *)
         let phase = t.tick + (c.id * t.tick / Array.length t.cpus) in
         Engine.every t.engine ~period:t.tick ~phase (fun () ->
-            if c.rcu_nesting = 0 then context_switch t c;
+            if c.stalled then c.suppressed_ticks <- c.suppressed_ticks + 1
+            else if c.rcu_nesting = 0 then context_switch t c;
             true))
       t.cpus
   end

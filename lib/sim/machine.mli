@@ -22,7 +22,13 @@ type cpu = {
       (** Read-side critical-section depth; ticks in a section are not
           quiescent states. Maintained by the [rcu] library. *)
   mutable idle : bool;  (** Whether the CPU is currently in an idle window. *)
+  mutable stalled : bool;
+      (** Fault injection: while set, scheduler ticks on this CPU are
+          suppressed, so it reports no quiescent states and pins any grace
+          period that needs one from it. Off by default. *)
   mutable ctx_switches : int;  (** Context switches observed so far. *)
+  mutable suppressed_ticks : int;
+      (** Ticks swallowed while [stalled] was set (fault accounting). *)
   mutable idle_work : (unit -> unit) list;
       (** Pending one-shot idle work, in reverse submission order. *)
 }

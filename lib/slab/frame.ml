@@ -1,3 +1,5 @@
+type grow_retry_policy = { max_retries : int; base_backoff_ns : int }
+
 type env = {
   machine : Sim.Machine.t;
   buddy : Mem.Buddy.t;
@@ -9,6 +11,7 @@ type env = {
          zeroing and higher-order assembly). This is the contention that
          makes the baseline collapse at large object sizes (Fig. 6). *)
   mutable reuse_check : (int -> unit) option;
+  mutable grow_retry : grow_retry_policy option;
   mutable next_oid : int;
   mutable next_sid : int;
 }
@@ -21,6 +24,7 @@ let make_env ?pressure ?(costs = Costs.default) machine buddy =
     costs;
     page_lock = Sim.Simlock.create ~name:"page-allocator";
     reuse_check = None;
+    grow_retry = None;
     next_oid = 0;
     next_sid = 0;
   }
@@ -456,8 +460,33 @@ let alloc_pages cache =
 let poll_pressure cache =
   match cache.env.pressure with None -> () | Some p -> Mem.Pressure.poll p
 
-let grow cache (cpu : Sim.Machine.cpu) =
+(* Retry a transiently failed page allocation with exponential virtual-time
+   backoff. Only failures that [Buddy.would_satisfy] proves non-genuine
+   (an injected refusal: a free block of sufficient order exists) are
+   retried; real exhaustion falls through to the fatal-OOM path at once.
+   Needs process context for the sleep, so it only runs when the policy is
+   installed (off by default). *)
+let rec grow_attempt cache (cpu : Sim.Machine.cpu) ~tries ~backoff =
   match alloc_pages cache with
+  | Some block -> Some block
+  | None -> (
+      match cache.env.grow_retry with
+      | Some p
+        when tries < p.max_retries
+             && Mem.Buddy.would_satisfy cache.env.buddy ~order:cache.order ->
+          Slab_stats.grow_retry cache.stats;
+          trace_event cache cpu ~arg:(tries + 1) Trace.Event.Grow_retry;
+          Sim.Process.sleep (Sim.Machine.engine cache.env.machine) backoff;
+          grow_attempt cache cpu ~tries:(tries + 1) ~backoff:(2 * backoff)
+      | _ -> None)
+
+let grow cache (cpu : Sim.Machine.cpu) =
+  let backoff =
+    match cache.env.grow_retry with
+    | Some p -> p.base_backoff_ns
+    | None -> 0
+  in
+  match grow_attempt cache cpu ~tries:0 ~backoff with
   | None ->
       trace_event cache cpu Trace.Event.Oom;
       None
@@ -521,9 +550,9 @@ let destroy_slab cache slab =
    invocation, so reclaim is spread over time rather than bursty. *)
 let max_shrink_per_call = 4
 
-let shrink_node cache (cpu : Sim.Machine.cpu) node =
+let shrink_node ?keep cache (cpu : Sim.Machine.cpu) node =
   let destroyed = ref 0 in
-  let keep = keep_free_target cache in
+  let keep = match keep with Some k -> k | None -> keep_free_target cache in
   let excess () =
     min (Sim.Dlist.length node.free_slabs - keep) (max_shrink_per_call - !destroyed)
   in

@@ -13,6 +13,14 @@
 
 (** {1 Types} *)
 
+type grow_retry_policy = {
+  max_retries : int;  (** Backoff attempts before declaring fatal OOM. *)
+  base_backoff_ns : int;  (** First retry delay; doubles per attempt. *)
+}
+(** Retry-with-backoff policy for transient page-allocation failures in the
+    grow path (see {!grow}). Requires process context (the backoff sleeps);
+    disabled by default. *)
+
 type env = {
   machine : Sim.Machine.t;
   buddy : Mem.Buddy.t;
@@ -25,6 +33,10 @@ type env = {
   mutable reuse_check : (int -> unit) option;
       (** Safety hook: called with the object id whenever an object is
           handed to a mutator; wired to {!Rcu.Readers.check_reusable}. *)
+  mutable grow_retry : grow_retry_policy option;
+      (** When set, {!grow} retries transient page-alloc failures (those
+          {!Mem.Buddy.would_satisfy} proves injected, not genuine
+          exhaustion) with bounded exponential virtual-time backoff. *)
   mutable next_oid : int;
   mutable next_sid : int;
 }
@@ -241,14 +253,19 @@ val put_free_obj : slab -> objekt -> unit
 val grow : cache -> Sim.Machine.cpu -> slab option
 (** Allocate pages for a new slab on [cpu]'s node, link it on the free
     list, charge grow cost. On buddy failure runs the pressure OOM chain
-    once and retries; [None] if memory is truly exhausted. *)
+    once and retries; with [env.grow_retry] set, transient (injected)
+    failures additionally retry with bounded exponential backoff, each
+    attempt counted and traced as [Grow_retry]. [None] if memory is truly
+    exhausted (or retries ran out). *)
 
 val destroy_slab : cache -> slab -> unit
 (** Unlink a {!truly_free} slab and return its pages. *)
 
-val shrink_node : cache -> Sim.Machine.cpu -> node -> int
-(** Destroy truly-free slabs while the node holds more than
-    {!Size_class.min_free_slabs}; returns how many were destroyed. *)
+val shrink_node : ?keep:int -> cache -> Sim.Machine.cpu -> node -> int
+(** Destroy truly-free slabs while the node holds more than the policy's
+    free target ([keep] overrides it; pass [~keep:0] for the emergency
+    eager shrink under Critical pressure); returns how many were
+    destroyed. At most a few slabs per call, like kernel shrinkers. *)
 
 (** {1 Bulk cache <-> node transfers} *)
 

@@ -15,6 +15,9 @@ type t = {
   mutable preflush_passes : int;
   mutable preflushed_objs : int;
   mutable ooms_delayed : int;
+  mutable grow_retries : int;
+  mutable emergency_flushes : int;
+  mutable emergency_flushed_objs : int;
   mutable current_slabs : int;
   mutable peak_slabs : int;
 }
@@ -37,6 +40,9 @@ let create () =
     preflush_passes = 0;
     preflushed_objs = 0;
     ooms_delayed = 0;
+    grow_retries = 0;
+    emergency_flushes = 0;
+    emergency_flushed_objs = 0;
     current_slabs = 0;
     peak_slabs = 0;
   }
@@ -63,6 +69,11 @@ let preflush_pass t ~n =
   t.preflushed_objs <- t.preflushed_objs + n
 
 let oom_delayed t = t.ooms_delayed <- t.ooms_delayed + 1
+let grow_retry t = t.grow_retries <- t.grow_retries + 1
+
+let emergency_flush t ~n =
+  t.emergency_flushes <- t.emergency_flushes + 1;
+  t.emergency_flushed_objs <- t.emergency_flushed_objs + n
 
 let set_current_slabs t n =
   t.current_slabs <- n;
@@ -85,6 +96,9 @@ type snapshot = {
   preflush_passes : int;
   preflushed_objs : int;
   ooms_delayed : int;
+  grow_retries : int;
+  emergency_flushes : int;
+  emergency_flushed_objs : int;
   current_slabs : int;
   peak_slabs : int;
 }
@@ -107,6 +121,9 @@ let snapshot (t : t) : snapshot =
     preflush_passes = t.preflush_passes;
     preflushed_objs = t.preflushed_objs;
     ooms_delayed = t.ooms_delayed;
+    grow_retries = t.grow_retries;
+    emergency_flushes = t.emergency_flushes;
+    emergency_flushed_objs = t.emergency_flushed_objs;
     current_slabs = t.current_slabs;
     peak_slabs = t.peak_slabs;
   }

@@ -25,6 +25,15 @@ val merge : t -> n:int -> unit
 val latent_overflow : t -> unit
 val preflush_pass : t -> n:int -> unit
 val oom_delayed : t -> unit
+
+val grow_retry : t -> unit
+(** A grow-path page allocation failed transiently and was retried after
+    backoff (robustness path; see {!Frame.grow}). *)
+
+val emergency_flush : t -> n:int -> unit
+(** One emergency reclaim pass under [Critical] pressure freed [n] ripe
+    latent objects (graceful-degradation path). *)
+
 val set_current_slabs : t -> int -> unit
 (** Updates current slab count and the peak watermark. *)
 
@@ -47,6 +56,9 @@ type snapshot = {
   preflush_passes : int;
   preflushed_objs : int;
   ooms_delayed : int;
+  grow_retries : int;  (** Transient grow failures retried with backoff. *)
+  emergency_flushes : int;  (** Emergency reclaim passes under pressure. *)
+  emergency_flushed_objs : int;
   current_slabs : int;
   peak_slabs : int;
 }

@@ -19,6 +19,10 @@ type kind =
   | Idle_end
   | Ctx_switch
   | Oom
+  | Rcu_stall
+  | Fault_inject
+  | Grow_retry
+  | Emergency_flush
 
 type t = {
   time : int;  (** virtual ns *)
@@ -27,8 +31,9 @@ type t = {
   label : string;  (** cache or lock name; "" when none *)
   arg : int;
       (** kind-dependent payload: object count (refill/flush/merge/
-          preflush/cb_invoke), grace-period sequence number (gp/cb events,
-          defer_free), wait ns (lock_contended); 0 otherwise *)
+          preflush/cb_invoke/emergency_flush), grace-period sequence number
+          (gp/cb events, defer_free, rcu_stall), wait ns (lock_contended),
+          retry ordinal (grow_retry); 0 otherwise *)
 }
 
 let kind_name = function
@@ -52,6 +57,10 @@ let kind_name = function
   | Idle_end -> "idle-end"
   | Ctx_switch -> "ctx-switch"
   | Oom -> "oom"
+  | Rcu_stall -> "rcu-stall"
+  | Fault_inject -> "fault-inject"
+  | Grow_retry -> "grow-retry"
+  | Emergency_flush -> "emergency-flush"
 
 let pp fmt e =
   Format.fprintf fmt "%d cpu%d %s%s arg=%d" e.time e.cpu (kind_name e.kind)

@@ -76,7 +76,10 @@ let build cfg =
     match cfg.kind with
     | Baseline -> Slab.Slub.backend (Slab.Slub.create fenv rcu)
     | Prudence_alloc ->
-        Prudence.backend (Prudence.create ~config:cfg.prudence_config fenv rcu)
+        let p = Prudence.create ~config:cfg.prudence_config fenv rcu in
+        (* No-op unless the config enables emergency_flush. *)
+        Prudence.attach_pressure p pressure;
+        Prudence.backend p
   in
   {
     cfg;

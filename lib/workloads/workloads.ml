@@ -3,6 +3,7 @@
 module Env = Env
 module Microbench = Microbench
 module Endurance = Endurance
+module Chaos = Chaos
 module Appmodel = Appmodel
 module Postmark = Postmark
 module Netperf = Netperf

@@ -23,6 +23,8 @@ let () =
       ("rcudata", Test_rcudata.suite);
       ("rcudata.tree", Test_rcutree.suite);
       ("trace", Test_trace.suite);
+      ("faults", Test_faults.suite);
+      ("chaos", Test_chaos.suite);
       ("metrics", Test_metrics.suite);
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);

@@ -104,6 +104,42 @@ let test_largest_free_order () =
   let _b2 = Mem.Buddy.alloc_exn b ~order:3 in
   Alcotest.(check int) "exhausted" (-1) (Mem.Buddy.largest_free_order b)
 
+let test_injected_vs_genuine_failures () =
+  let b = Mem.Buddy.create ~total_pages:8 ~max_order:3 () in
+  (* A refusing hook: failures are injected, not genuine exhaustion. *)
+  Mem.Buddy.set_fail_hook b (Some (fun ~order:_ -> true));
+  Alcotest.(check bool) "refused" true (Mem.Buddy.alloc b ~order:0 = None);
+  Alcotest.(check bool) "refused again" true (Mem.Buddy.alloc b ~order:1 = None);
+  Alcotest.(check int) "injected counted" 2 (Mem.Buddy.injected_failures b);
+  Alcotest.(check int) "genuine untouched" 0 (Mem.Buddy.failed_allocs b);
+  Alcotest.(check bool) "memory was actually available" true
+    (Mem.Buddy.would_satisfy b ~order:0);
+  (* Hook removed: allocation works and nothing new is counted. *)
+  Mem.Buddy.set_fail_hook b None;
+  let blk = Mem.Buddy.alloc_exn b ~order:3 in
+  Alcotest.(check int) "no new injected" 2 (Mem.Buddy.injected_failures b);
+  (* Genuine exhaustion (no hook): failed_allocs, not injected_failures. *)
+  Alcotest.(check bool) "exhausted" true (Mem.Buddy.alloc b ~order:0 = None);
+  Alcotest.(check int) "genuine counted" 1 (Mem.Buddy.failed_allocs b);
+  Alcotest.(check int) "injected unchanged" 2 (Mem.Buddy.injected_failures b);
+  Alcotest.(check bool) "nothing would satisfy" false
+    (Mem.Buddy.would_satisfy b ~order:0);
+  Mem.Buddy.free b blk;
+  Mem.Buddy.check_invariants b
+
+let test_would_satisfy_orders () =
+  let b = Mem.Buddy.create ~total_pages:16 ~max_order:4 () in
+  Alcotest.(check bool) "whole region free" true
+    (Mem.Buddy.would_satisfy b ~order:4);
+  let blk = Mem.Buddy.alloc_exn b ~order:3 in
+  Alcotest.(check bool) "half gone: order 4 unsatisfiable" false
+    (Mem.Buddy.would_satisfy b ~order:4);
+  Alcotest.(check bool) "order 3 still satisfiable" true
+    (Mem.Buddy.would_satisfy b ~order:3);
+  Alcotest.(check bool) "smaller orders split from it" true
+    (Mem.Buddy.would_satisfy b ~order:0);
+  Mem.Buddy.free b blk
+
 let prop_random_alloc_free =
   QCheck.Test.make ~name:"random alloc/free keeps invariants" ~count:60
     QCheck.(list (pair (int_bound 3) bool))
@@ -141,5 +177,8 @@ let suite =
     Alcotest.test_case "non-power-of-two total" `Quick
       test_non_power_of_two_total;
     Alcotest.test_case "largest free order" `Quick test_largest_free_order;
+    Alcotest.test_case "injected vs genuine failures" `Quick
+      test_injected_vs_genuine_failures;
+    Alcotest.test_case "would_satisfy orders" `Quick test_would_satisfy_orders;
     QCheck_alcotest.to_alcotest prop_random_alloc_free;
   ]

@@ -1,0 +1,71 @@
+module Chaos = Workloads.Chaos
+
+(* Small, fast configs: the full-size matrix is exercised by the [chaos]
+   CLI subcommand; here we pin the semantics. *)
+let small scenario =
+  {
+    (Chaos.default_config ~scenario) with
+    Chaos.cpus = 4;
+    duration_ns = Sim.Clock.ms 100;
+    total_pages = 8_192;
+    stall_timeout_ns = Sim.Clock.ms 10;
+    ring = 4_096;
+  }
+
+let test_scenario_names_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "roundtrip" true
+        (Chaos.scenario_of_string (Chaos.scenario_name s) = Some s))
+    Chaos.all_scenarios;
+  Alcotest.(check bool) "unknown rejected" true
+    (Chaos.scenario_of_string "nope" = None)
+
+let test_clean_plan_is_empty () =
+  let plan = Chaos.plan_for (small Chaos.Clean) in
+  Alcotest.(check int) "no specs" 0 (List.length plan.Faults.Plan.specs)
+
+let test_clean_scenario_quiet () =
+  let slub, prud = Chaos.run_pair (small Chaos.Clean) in
+  List.iter
+    (fun (o : Chaos.outcome) ->
+      Alcotest.(check bool) (o.Chaos.label ^ " survived") true
+        o.Chaos.survived;
+      Alcotest.(check int) (o.Chaos.label ^ " zero stall warnings") 0
+        o.Chaos.stall_warnings;
+      Alcotest.(check int) (o.Chaos.label ^ " zero injected failures") 0
+        o.Chaos.injected_failures;
+      Alcotest.(check int) (o.Chaos.label ^ " zero violations") 0
+        o.Chaos.safety_violations;
+      Alcotest.(check bool) (o.Chaos.label ^ " did work") true
+        (o.Chaos.updates > 0))
+    [ slub; prud ]
+
+let test_stalled_reader_detected () =
+  let cfg = small Chaos.Stalled_reader in
+  let _slub, prud = Chaos.run_pair cfg in
+  Alcotest.(check bool) "stall warnings fired" true
+    (prud.Chaos.stall_warnings >= 1);
+  (* The plan stalls cpu [min 2 (cpus-1)] = 2: warnings must name it and
+     no other cpu. *)
+  Alcotest.(check (list int)) "holdout is the stalled cpu" [ 2 ]
+    prud.Chaos.holdout_cpus;
+  Alcotest.(check int) "no premature reuse" 0 prud.Chaos.safety_violations
+
+let test_deterministic () =
+  let cfg = small Chaos.Alloc_fault in
+  let a1, b1 = Chaos.run_pair cfg in
+  let a2, b2 = Chaos.run_pair cfg in
+  Alcotest.(check bool) "baseline outcome identical" true (a1 = a2);
+  Alcotest.(check bool) "prudence outcome identical" true (b1 = b2)
+
+let suite =
+  [
+    Alcotest.test_case "scenario names roundtrip" `Quick
+      test_scenario_names_roundtrip;
+    Alcotest.test_case "clean plan is empty" `Quick test_clean_plan_is_empty;
+    Alcotest.test_case "clean scenario quiet" `Quick test_clean_scenario_quiet;
+    Alcotest.test_case "stalled reader detected" `Quick
+      test_stalled_reader_detected;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

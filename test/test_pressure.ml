@@ -31,6 +31,29 @@ let test_notifier_on_transition () =
   Alcotest.(check bool) "last is normal" true
     (List.hd !log = Mem.Pressure.Normal)
 
+let test_transitions_bidirectional () =
+  (* Walk the full ladder up and back down, polling at each boundary:
+     every crossing must notify exactly once, in order. *)
+  let b, p = make () in
+  let log = ref [] in
+  Mem.Pressure.on_level_change p (fun l -> log := l :: !log);
+  let take n = List.init n (fun _ -> Mem.Buddy.alloc_exn b ~order:0) in
+  let up_low = take 76 in
+  (* 24 free <= 25 *)
+  Mem.Pressure.poll p;
+  let up_crit = take 15 in
+  (* 9 free <= 10 *)
+  Mem.Pressure.poll p;
+  List.iter (Mem.Buddy.free b) up_crit;
+  Mem.Pressure.poll p;
+  List.iter (Mem.Buddy.free b) up_low;
+  Mem.Pressure.poll p;
+  Mem.Pressure.poll p;
+  (* no change: no extra notification *)
+  Alcotest.(check (list string)) "both directions, one event per crossing"
+    [ "low"; "critical"; "low"; "normal" ]
+    (List.rev_map (Format.asprintf "%a" Mem.Pressure.pp_level) !log)
+
 let test_oom_chain () =
   let _b, p = make () in
   let calls = ref [] in
@@ -43,6 +66,25 @@ let test_oom_chain () =
   Alcotest.(check bool) "retry requested" true
     (Mem.Pressure.handle_alloc_failure p);
   Alcotest.(check (list int)) "handlers in order" [ 1; 2 ] (List.rev !calls)
+
+let test_oom_chain_runs_all_handlers () =
+  (* An early success must not short-circuit later handlers: direct
+     reclaim gives every registered reclaimer a chance to make progress. *)
+  let _b, p = make () in
+  let calls = ref [] in
+  Mem.Pressure.on_oom p (fun () ->
+      calls := 1 :: !calls;
+      true);
+  Mem.Pressure.on_oom p (fun () ->
+      calls := 2 :: !calls;
+      false);
+  Mem.Pressure.on_oom p (fun () ->
+      calls := 3 :: !calls;
+      true);
+  Alcotest.(check bool) "retry requested" true
+    (Mem.Pressure.handle_alloc_failure p);
+  Alcotest.(check (list int)) "all handlers ran, in order" [ 1; 2; 3 ]
+    (List.rev !calls)
 
 let test_oom_chain_all_fail () =
   let _b, p = make () in
@@ -62,7 +104,11 @@ let suite =
     Alcotest.test_case "watermark levels" `Quick test_levels;
     Alcotest.test_case "notifier on transition only" `Quick
       test_notifier_on_transition;
+    Alcotest.test_case "transitions both directions" `Quick
+      test_transitions_bidirectional;
     Alcotest.test_case "oom handler chain" `Quick test_oom_chain;
+    Alcotest.test_case "oom chain runs all handlers" `Quick
+      test_oom_chain_runs_all_handlers;
     Alcotest.test_case "oom chain all fail" `Quick test_oom_chain_all_fail;
     Alcotest.test_case "declare_oom first wins" `Quick
       test_declare_oom_first_wins;
