@@ -96,27 +96,28 @@ let trace_experiment id out want_hists ring p =
                      chrome://tracing)@." out;
       0
 
+let parse_scenarios names =
+  let names = if names = [] then [ "all" ] else names in
+  if names = [ "all" ] then Core.Workloads.Chaos.all_scenarios
+  else
+    List.map
+      (fun name ->
+        match Core.Workloads.Chaos.scenario_of_string name with
+        | Some s -> s
+        | None ->
+            Format.eprintf "unknown scenario %S; scenarios: %s, all@." name
+              (String.concat ", "
+                 (List.map Core.Workloads.Chaos.scenario_name
+                    Core.Workloads.Chaos.all_scenarios));
+            exit 2)
+      names
+
 let run_chaos names ring p =
   if ring <= 0 then begin
     Format.eprintf "--ring must be positive (got %d)@." ring;
     exit 2
   end;
-  let scenarios =
-    let names = if names = [] then [ "all" ] else names in
-    if names = [ "all" ] then Core.Workloads.Chaos.all_scenarios
-    else
-      List.map
-        (fun name ->
-          match Core.Workloads.Chaos.scenario_of_string name with
-          | Some s -> s
-          | None ->
-              Format.eprintf "unknown scenario %S; scenarios: %s, all@." name
-                (String.concat ", "
-                   (List.map Core.Workloads.Chaos.scenario_name
-                      Core.Workloads.Chaos.all_scenarios));
-              exit 2)
-        names
-  in
+  let scenarios = parse_scenarios names in
   let cp =
     {
       Core.Chaos.seed = p.Core.Experiments.seed;
@@ -127,6 +128,75 @@ let run_chaos names ring p =
   in
   Core.Metrics.Report.print Format.std_formatter (Core.Chaos.report cp scenarios);
   0
+
+let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
+    skip_diff seed cpus =
+  let module Sweep = Core.Check.Sweep in
+  if sweeps <= 0 || duration_ms <= 0 || pages <= 0 || cpus <= 0 then begin
+    Format.eprintf
+      "--sweeps, --duration-ms, --pages and --cpus must be positive@.";
+    exit 2
+  end;
+  let scenarios = parse_scenarios names in
+  let kinds =
+    match alloc with
+    | "both" -> [ Core.Workloads.Env.Baseline; Core.Workloads.Env.Prudence_alloc ]
+    | s -> (
+        match Core.Workloads.Env.kind_of_string s with
+        | Some k -> [ k ]
+        | None ->
+            Format.eprintf "unknown allocator %S (slub, prudence, both)@." s;
+            exit 2)
+  in
+  let mutation =
+    match Sweep.mutation_of_string mutate with
+    | Some m -> m
+    | None ->
+        Format.eprintf "unknown mutation %S (none, skip-gp)@." mutate;
+        exit 2
+  in
+  let cfg =
+    {
+      Sweep.scenarios;
+      kinds;
+      sweeps;
+      base_shuffle_seed = shuffle_seed;
+      seed;
+      cpus;
+      duration_ns = duration_ms * 1_000_000;
+      total_pages = pages;
+      mutation;
+    }
+  in
+  Format.printf
+    "sweeping %d scenario(s) x %d allocator(s) x %d shuffled schedule(s) \
+     (shuffle seeds %d..%d, workload seed %d)...@."
+    (List.length scenarios) (List.length kinds) sweeps shuffle_seed
+    (shuffle_seed + sweeps - 1)
+    seed;
+  let last = ref None in
+  let progress (case : Sweep.case) =
+    let key = (case.Sweep.scenario, case.Sweep.kind) in
+    if !last <> Some key then begin
+      last := Some key;
+      Format.printf "  %s/%s@."
+        (Core.Workloads.Chaos.scenario_name case.Sweep.scenario)
+        (Core.Workloads.Env.kind_label case.Sweep.kind)
+    end
+  in
+  let verdicts = Sweep.run ~progress cfg in
+  Format.printf "@.%a@." Sweep.summary verdicts;
+  let sweep_failed = List.exists (fun v -> not (Sweep.ok v)) verdicts in
+  let diff_failed =
+    if skip_diff then false
+    else begin
+      let trace = Core.Check.Differential.gen ~seed () in
+      let r = Core.Check.Differential.run ~seed trace in
+      Format.printf "%a@." Core.Check.Differential.pp_result r;
+      not r.Core.Check.Differential.ok
+    end
+  in
+  if sweep_failed || diff_failed then 1 else 0
 
 open Cmdliner
 
@@ -229,6 +299,65 @@ let chaos_cmd =
           backoff retries, emergency flushes)")
     Term.(const run_chaos $ names $ ring $ params_term)
 
+let check_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenarios (clean, stalled-reader, cb-flood, pressure-spike, \
+                alloc-fault) or 'all' (default).")
+  in
+  let alloc =
+    let doc = "Allocator(s) to sweep: slub, prudence or both." in
+    Arg.(value & opt string "both" & info [ "alloc" ] ~docv:"KIND" ~doc)
+  in
+  let sweeps =
+    let doc = "Shuffled schedules per (scenario, allocator) pair." in
+    Arg.(value & opt int 20 & info [ "sweeps" ] ~docv:"N" ~doc)
+  in
+  let shuffle_seed =
+    let doc =
+      "First shuffle seed; the sweep uses seeds N..N+sweeps-1. Use the \
+       seed printed by a failing run (with --sweeps=1) to replay it."
+    in
+    Arg.(value & opt int 1 & info [ "shuffle-seed" ] ~docv:"N" ~doc)
+  in
+  let mutate =
+    let doc =
+      "Mutation self-test: 'skip-gp' reclaims deferred objects without \
+       waiting for their grace period; the sweep must then FAIL with \
+       early-reuse violations (proof the oracle has teeth)."
+    in
+    Arg.(value & opt string "none" & info [ "mutate" ] ~docv:"M" ~doc)
+  in
+  let duration_ms =
+    let doc = "Virtual run length per schedule, in milliseconds." in
+    Arg.(value & opt int 50 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+  in
+  let pages =
+    let doc = "Physical memory per run, in 4 KiB pages." in
+    Arg.(value & opt int 8_192 & info [ "pages" ] ~docv:"N" ~doc)
+  in
+  let skip_diff =
+    let doc = "Skip the baseline-vs-Prudence differential trace replay." in
+    Arg.(value & flag & info [ "skip-diff" ] ~doc)
+  in
+  let cpus =
+    let doc = "Simulated CPUs per run." in
+    Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Schedule-exploration safety check: run the chaos matrix under \
+          shuffled same-instant event orderings with the shadow-heap \
+          oracle and invariant auditors armed, then differentially replay \
+          one trace against both allocators; non-zero exit and a replay \
+          command on any violation")
+    Term.(
+      const run_check $ names $ alloc $ sweeps $ shuffle_seed $ mutate
+      $ duration_ms $ pages $ skip_diff $ seed_arg $ cpus)
+
 let main_cmd =
   let doc =
     "Reproduction of 'Prudent Memory Reclamation in Procrastination-Based \
@@ -236,6 +365,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
-    [ list_cmd; run_cmd; trace_cmd; chaos_cmd ]
+    [ list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

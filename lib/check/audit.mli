@@ -1,0 +1,34 @@
+(** Invariant auditors.
+
+    Each auditor walks one layer's live data structures and returns a list
+    of human-readable invariant failures (empty = clean). Unlike the
+    [check_invariants] asserts sprinkled through the allocators, auditors
+    never raise and never mutate — they can run at any virtual time, from
+    the middle of a schedule sweep to the end of a differential replay,
+    and their findings are reported alongside the oracle's. *)
+
+val buddy : Mem.Buddy.t -> string list
+(** Free-list coverage, no block overlap, and split/merge conservation:
+    the free and allocated block sets must tile [0, total_pages) exactly,
+    every block must be naturally aligned for its order, and the page
+    totals must match the allocator's own counters. *)
+
+val slab : rcu:Rcu.t -> Slab.Frame.cache -> string list
+(** Slab accounting: per-slab occupancy ([free + latent + in_flight =
+    capacity]), list-membership tags, object-state tags vs. the structure
+    each object actually sits in, cache-level counters ([total_slabs],
+    [live_objs], [latent_count]) vs. a recount, and statistics identities
+    ([allocs = hits + misses], [grows - shrinks = total_slabs]). The
+    in-flight recount may exceed [live + cached] by objects defer-freed
+    through [call_rcu] whose callbacks have not run yet (the baseline's
+    extended-lifetime window); that surplus is bounded by the RCU
+    backlog, hence [rcu]. *)
+
+val latent : rcu:Rcu.t -> Slab.Frame.cache -> string list
+(** Latent-cache accounting vs. grace-period epoch state: every deferred
+    object's cookie must lie in the valid window — positive and no newer
+    than the next snapshot the RCU state could hand out. *)
+
+val env : Workloads.Env.t -> string list
+(** All of the above over the environment: the buddy allocator plus every
+    cache the backend knows, each failure prefixed with its layer. *)

@@ -1,0 +1,21 @@
+(** Safety oracles and schedule exploration for the simulated allocators.
+
+    Three layers of verification, all pure observation (installing them
+    never changes allocator behaviour):
+
+    - {!Shadow}: a shadow heap tracking every deferred object through
+      [live -> deferred -> ripe -> reclaimed], flagging early reuse and
+      use-after-reclaim;
+    - {!Audit}: invariant auditors for the buddy allocator, slab
+      accounting, and latent-cache/grace-period consistency, callable at
+      any virtual time;
+    - {!Sweep}: the chaos-scenario matrix under shuffled same-instant
+      event orderings ({!Sim.Engine.Shuffle}), every run checked by the
+      oracle and the auditors, failures reported with a replay command;
+    - {!Differential}: one recorded trace replayed against both allocator
+      stacks, requiring identical outcomes and verdicts. *)
+
+module Shadow = Shadow
+module Audit = Audit
+module Sweep = Sweep
+module Differential = Differential

@@ -1,0 +1,152 @@
+type state = Live | Deferred of int | Ripe | Reclaimed
+
+let pp_state ppf = function
+  | Live -> Format.fprintf ppf "live"
+  | Deferred c -> Format.fprintf ppf "deferred(gp %d)" c
+  | Ripe -> Format.fprintf ppf "ripe"
+  | Reclaimed -> Format.fprintf ppf "reclaimed"
+
+type kind =
+  | Early_reuse of { cookie : int; completed : int }
+  | Use_after_reclaim of { cpu : int }
+  | Bad_transition of { from : state option; event : string }
+
+type violation = { at_ns : int; oid : int; kind : kind }
+
+let describe v =
+  let base = Printf.sprintf "[%d ns] object %d: " v.at_ns v.oid in
+  base
+  ^
+  match v.kind with
+  | Early_reuse { cookie; completed } ->
+      Printf.sprintf
+        "entered a free pool waiting for grace period %d, but only %d had \
+         completed (early reuse)"
+        cookie completed
+  | Use_after_reclaim { cpu } ->
+      Printf.sprintf "reader on cpu%d dereferenced it after reclaim" cpu
+  | Bad_transition { from; event } ->
+      let from_s =
+        match from with
+        | None -> "never-seen"
+        | Some s -> Format.asprintf "%a" pp_state s
+      in
+      Printf.sprintf "%s while %s (bad lifecycle transition)" event from_s
+
+let pp_violation ppf v = Format.pp_print_string ppf (describe v)
+
+type t = {
+  machine : Sim.Machine.t;
+  rcu : Rcu.t;
+  states : (int, state) Hashtbl.t;
+  mutable violation_log : violation list; (* reversed *)
+  mutable events : int;
+}
+
+let now t = Sim.Engine.now (Sim.Machine.engine t.machine)
+
+let flag t ~oid kind =
+  t.violation_log <- { at_ns = now t; oid; kind } :: t.violation_log
+
+let set t oid st = Hashtbl.replace t.states oid st
+
+let state t ~oid = Hashtbl.find_opt t.states oid
+
+(* A mutator received the object. Legal from: fresh (grow carves objects
+   straight onto the slab freelist, no pool probe), a free pool, or ripe
+   (merge pools it first, but be tolerant of direct handoff). *)
+let on_alloc t ~oid =
+  t.events <- t.events + 1;
+  (match state t ~oid with
+  | Some (Live | Deferred _) as from ->
+      flag t ~oid (Bad_transition { from; event = "allocated" })
+  | Some (Ripe | Reclaimed) | None -> ());
+  set t oid Live
+
+let on_free t ~oid =
+  t.events <- t.events + 1;
+  match state t ~oid with
+  | Some Live -> () (* pool entry (on_pool) performs the state change *)
+  | (Some (Deferred _ | Ripe | Reclaimed) | None) as from ->
+      flag t ~oid (Bad_transition { from; event = "freed" })
+
+let on_defer t ~oid ~cookie =
+  t.events <- t.events + 1;
+  (match state t ~oid with
+  | Some Live -> ()
+  | (Some (Deferred _ | Ripe | Reclaimed) | None) as from ->
+      flag t ~oid (Bad_transition { from; event = "defer-freed" }));
+  set t oid (Deferred cookie)
+
+(* The reuse boundary: the object is entering an object cache or slab
+   freelist. If it is still waiting for a grace period, consult the live
+   RCU state (not the promotion hook, whose registration order vs. other
+   GP hooks must not matter): pooling before completion is THE bug class
+   this oracle exists for. *)
+let on_pool t ~oid ~cookie:_ =
+  t.events <- t.events + 1;
+  (* Pool-to-pool moves (refill: slab freelist -> object cache; flush:
+     the reverse) re-enter here from [Reclaimed]; that is legal. *)
+  (match state t ~oid with
+  | Some (Deferred c) when not (Rcu.poll t.rcu c) ->
+      flag t ~oid (Early_reuse { cookie = c; completed = Rcu.completed t.rcu })
+  | Some (Live | Deferred _ | Ripe | Reclaimed) | None -> ());
+  set t oid Reclaimed
+
+let on_reader_access t ~cpu ~oid =
+  t.events <- t.events + 1;
+  match state t ~oid with
+  | Some Reclaimed -> flag t ~oid (Use_after_reclaim { cpu })
+  | Some (Live | Deferred _ | Ripe) | None -> ()
+
+let on_gp_complete t completed =
+  (* Promote every deferred object whose grace period just finished.
+     Collect first: replacing bindings mid-iteration is unspecified. *)
+  let ripe = ref [] in
+  Hashtbl.iter
+    (fun oid st ->
+      match st with
+      | Deferred c when c <= completed -> ripe := oid :: !ripe
+      | _ -> ())
+    t.states;
+  List.iter (fun oid -> set t oid Ripe) !ripe
+
+let install (env : Workloads.Env.t) =
+  let t =
+    {
+      machine = env.Workloads.Env.machine;
+      rcu = env.Workloads.Env.rcu;
+      states = Hashtbl.create 4096;
+      violation_log = [];
+      events = 0;
+    }
+  in
+  env.Workloads.Env.fenv.Slab.Frame.probe <-
+    Some
+      {
+        Slab.Frame.on_alloc = (fun ~oid -> on_alloc t ~oid);
+        on_free = (fun ~oid -> on_free t ~oid);
+        on_defer = (fun ~oid ~cookie -> on_defer t ~oid ~cookie);
+        on_pool = (fun ~oid ~cookie -> on_pool t ~oid ~cookie);
+      };
+  Rcu.on_gp_complete t.rcu (fun completed -> on_gp_complete t completed);
+  Rcu.Readers.set_access_hook env.Workloads.Env.readers
+    (Some (fun ~cpu ~oid -> on_reader_access t ~cpu ~oid));
+  t
+
+let violations t = List.rev t.violation_log
+let violation_count t = List.length t.violation_log
+let tracked t = Hashtbl.length t.states
+let events t = t.events
+
+let counts t =
+  let live = ref 0 and def = ref 0 and ripe = ref 0 and rec_ = ref 0 in
+  Hashtbl.iter
+    (fun _ st ->
+      match st with
+      | Live -> incr live
+      | Deferred _ -> incr def
+      | Ripe -> incr ripe
+      | Reclaimed -> incr rec_)
+    t.states;
+  (!live, !def, !ripe, !rec_)

@@ -1,0 +1,71 @@
+(** Shadow-heap safety oracle.
+
+    Tracks every slab object the allocator under test touches through the
+    lifecycle
+
+    {v live -> deferred(cookie) -> ripe -> reclaimed -> live -> ... v}
+
+    by listening to the {!Slab.Frame.probe} hooks plus the reader access
+    hook, and flags the two failures procrastination-based reclamation
+    must never exhibit:
+
+    - {e early reuse}: a deferred object enters a free pool (object cache
+      or slab freelist) before its grace period has completed — the memory
+      is about to be handed to a new owner while readers may still hold
+      the old incarnation;
+    - {e use after reclaim}: a reader dereferences an object whose memory
+      has already been returned to a free pool.
+
+    The oracle is pure observation: it never changes allocator behaviour,
+    so a run with the oracle installed is byte-identical to one without.
+    Violations are recorded (with virtual timestamps), never raised. *)
+
+type state =
+  | Live  (** Held by a mutator. *)
+  | Deferred of int  (** Defer-freed, waiting for grace period [cookie]. *)
+  | Ripe  (** Grace period complete; safe to reclaim, not yet pooled. *)
+  | Reclaimed  (** In a free pool; memory may be reused any time. *)
+
+val pp_state : Format.formatter -> state -> unit
+
+type kind =
+  | Early_reuse of { cookie : int; completed : int }
+      (** Entered a free pool while waiting for grace period [cookie],
+          but only [completed] grace periods had finished. *)
+  | Use_after_reclaim of { cpu : int }
+      (** A reader on [cpu] dereferenced the object after reclaim. *)
+  | Bad_transition of { from : state option; event : string }
+      (** Lifecycle violation, e.g. double free or defer of a non-live
+          object. [from] is [None] for an object never seen before. *)
+
+type violation = { at_ns : int; oid : int; kind : kind }
+
+val describe : violation -> string
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val install : Workloads.Env.t -> t
+(** Wire the oracle into a built environment: sets the frame's probe
+    record, registers a grace-period completion hook that promotes
+    deferred objects to ripe, and installs the reader access hook.
+    Install at most one oracle per environment (the hooks are
+    overwritten, not chained). *)
+
+val violations : t -> violation list
+(** Oldest first. *)
+
+val violation_count : t -> int
+
+val state : t -> oid:int -> state option
+(** Current shadow state of object [oid]; [None] if never observed. *)
+
+val tracked : t -> int
+(** Objects currently tracked. *)
+
+val counts : t -> int * int * int * int
+(** (live, deferred, ripe, reclaimed) tracked-object totals — cheap
+    cross-check material for the auditors. *)
+
+val events : t -> int
+(** Probe events observed (sanity: > 0 after any workload). *)

@@ -1,0 +1,209 @@
+module W = Workloads
+
+type mutation = No_mutation | Skip_gp
+
+let mutation_name = function No_mutation -> "none" | Skip_gp -> "skip-gp"
+
+let mutation_of_string = function
+  | "none" -> Some No_mutation
+  | "skip-gp" | "skip_gp" -> Some Skip_gp
+  | _ -> None
+
+type config = {
+  scenarios : W.Chaos.scenario list;
+  kinds : W.Env.kind list;
+  sweeps : int;
+  base_shuffle_seed : int;
+  seed : int;
+  cpus : int;
+  duration_ns : int;
+  total_pages : int;
+  mutation : mutation;
+}
+
+let default_config =
+  {
+    scenarios = W.Chaos.all_scenarios;
+    kinds = [ W.Env.Baseline; W.Env.Prudence_alloc ];
+    sweeps = 20;
+    base_shuffle_seed = 1;
+    seed = 42;
+    cpus = 4;
+    duration_ns = Sim.Clock.ms 50;
+    total_pages = 8_192;
+    mutation = No_mutation;
+  }
+
+type case = {
+  scenario : W.Chaos.scenario;
+  kind : W.Env.kind;
+  shuffle_seed : int;
+}
+
+type verdict = {
+  case : case;
+  oracle_violations : Shadow.violation list;
+  reader_violations : string list;
+  audit_failures : string list;
+  oracle_events : int;
+  updates : int;
+  survived : bool;
+  replay : string;
+}
+
+let ok v =
+  v.oracle_violations = [] && v.reader_violations = []
+  && v.audit_failures = []
+
+let replay_command cfg case =
+  Printf.sprintf
+    "prudence-repro check %s --alloc=%s --seed=%d --shuffle-seed=%d \
+     --sweeps=1 --cpus=%d --duration-ms=%d --pages=%d%s"
+    (W.Chaos.scenario_name case.scenario)
+    (W.Env.kind_label case.kind)
+    cfg.seed case.shuffle_seed cfg.cpus
+    (cfg.duration_ns / 1_000_000)
+    cfg.total_pages
+    (match cfg.mutation with
+    | No_mutation -> ""
+    | m -> " --mutate=" ^ mutation_name m)
+
+let chaos_config cfg scenario =
+  {
+    (W.Chaos.default_config ~scenario) with
+    W.Chaos.seed = cfg.seed;
+    cpus = cfg.cpus;
+    duration_ns = cfg.duration_ns;
+    total_pages = cfg.total_pages;
+  }
+
+(* Mirrors [Workloads.Chaos.run_one] — same fault plan, same mitigations —
+   but with the shuffled tie-break installed and the full verification
+   stack (shadow oracle + auditors) armed. *)
+let run_case cfg case =
+  let ccfg = chaos_config cfg case.scenario in
+  let env_cfg =
+    {
+      W.Env.default_config with
+      W.Env.kind = case.kind;
+      cpus = cfg.cpus;
+      seed = cfg.seed;
+      tiebreak = Sim.Engine.Shuffle case.shuffle_seed;
+      total_pages = cfg.total_pages;
+      rcu_config =
+        {
+          Rcu.default_config with
+          Rcu.blimit = 100;
+          expedited_blimit = 300;
+          softirq_period_ns = 1_000_000;
+          qhimark = max_int;
+          stall_timeout_ns = Some ccfg.W.Chaos.stall_timeout_ns;
+        };
+      prudence_config =
+        {
+          Prudence.default_config with
+          Prudence.emergency_flush = true;
+          unsafe_skip_gp = (cfg.mutation = Skip_gp);
+        };
+      track_readers = true;
+    }
+  in
+  let env = W.Env.build env_cfg in
+  let oracle = Shadow.install env in
+  env.W.Env.fenv.Slab.Frame.grow_retry <-
+    Some { Slab.Frame.max_retries = 6; base_backoff_ns = 10_000 };
+  ignore
+    (Faults.Injector.install ~pressure:env.W.Env.pressure
+       (W.Chaos.plan_for ccfg) ~machine:env.W.Env.machine
+       ~buddy:env.W.Env.buddy ~rcu:env.W.Env.rcu);
+  let r =
+    W.Endurance.run env
+      { W.Endurance.default_config with
+        W.Endurance.duration_ns = cfg.duration_ns }
+  in
+  {
+    case;
+    oracle_violations = Shadow.violations oracle;
+    reader_violations = W.Env.safety_violations env;
+    audit_failures = Audit.env env;
+    oracle_events = Shadow.events oracle;
+    updates = r.W.Endurance.updates;
+    survived = r.W.Endurance.oom_at_ns = None;
+    replay = replay_command cfg case;
+  }
+
+let cases cfg =
+  List.concat_map
+    (fun scenario ->
+      List.concat_map
+        (fun kind ->
+          List.init cfg.sweeps (fun i ->
+              { scenario; kind; shuffle_seed = cfg.base_shuffle_seed + i }))
+        cfg.kinds)
+    cfg.scenarios
+
+let run ?(progress = fun _ -> ()) cfg =
+  List.map
+    (fun case ->
+      progress case;
+      run_case cfg case)
+    (cases cfg)
+
+let pp_case ppf case =
+  Format.fprintf ppf "%s/%s shuffle=%d"
+    (W.Chaos.scenario_name case.scenario)
+    (W.Env.kind_label case.kind)
+    case.shuffle_seed
+
+let pp_verdict ppf v =
+  if ok v then
+    Format.fprintf ppf "PASS %a (%d updates, %d probe events%s)" pp_case
+      v.case v.updates v.oracle_events
+      (if v.survived then "" else ", oom")
+  else begin
+    Format.fprintf ppf "@[<v 2>FAIL %a:" pp_case v.case;
+    let capped label describe items =
+      List.iteri
+        (fun i x ->
+          if i < 5 then Format.fprintf ppf "@,%s: %s" label (describe x))
+        items;
+      let n = List.length items in
+      if n > 5 then Format.fprintf ppf "@,... and %d more %s(s)" (n - 5) label
+    in
+    capped "oracle" Shadow.describe v.oracle_violations;
+    capped "reader-checker" Fun.id v.reader_violations;
+    capped "audit" Fun.id v.audit_failures;
+    Format.fprintf ppf "@,replay: %s@]" v.replay
+  end
+
+let summary ppf verdicts =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let key = (v.case.scenario, v.case.kind) in
+      let passed, failed =
+        Option.value (Hashtbl.find_opt groups key) ~default:(0, 0)
+      in
+      Hashtbl.replace groups key
+        (if ok v then (passed + 1, failed) else (passed, failed + 1)))
+    verdicts;
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun kind ->
+          match Hashtbl.find_opt groups (scenario, kind) with
+          | None -> ()
+          | Some (passed, failed) ->
+              Format.fprintf ppf "%-16s %-9s %3d/%d schedules clean%s@,"
+                (W.Chaos.scenario_name scenario)
+                (W.Env.kind_label kind) passed (passed + failed)
+                (if failed > 0 then "  <-- FAIL" else ""))
+        [ W.Env.Baseline; W.Env.Prudence_alloc ])
+    W.Chaos.all_scenarios;
+  let failures = List.filter (fun v -> not (ok v)) verdicts in
+  if failures <> [] then begin
+    Format.fprintf ppf "@,%d failing schedule(s):@," (List.length failures);
+    List.iter (fun v -> Format.fprintf ppf "%a@," pp_verdict v) failures
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,70 @@
+(** Schedule exploration: sweep the chaos-scenario matrix under perturbed
+    same-instant event orderings, asserting the safety oracle and the
+    invariant auditors on every run.
+
+    One {e case} is (scenario, allocator, shuffle seed): the scenario's
+    fault plan and workload run with {!Sim.Engine.Shuffle}[ seed] as the
+    engine tie-break, so logically concurrent events execute in a
+    different (but deterministic and replayable) order each sweep. A
+    failing case prints the exact [prudence-repro check] command that
+    reproduces it. *)
+
+type mutation =
+  | No_mutation
+  | Skip_gp
+      (** Run Prudence with [unsafe_skip_gp]: every deferred object is
+          treated as immediately ripe. The oracle must flag early reuse —
+          this is how the checker proves its own teeth. *)
+
+val mutation_name : mutation -> string
+val mutation_of_string : string -> mutation option
+
+type config = {
+  scenarios : Workloads.Chaos.scenario list;
+  kinds : Workloads.Env.kind list;
+  sweeps : int;  (** Shuffle seeds per (scenario, kind): [base..base+n-1]. *)
+  base_shuffle_seed : int;
+  seed : int;  (** Workload seed (kept fixed across the sweep). *)
+  cpus : int;
+  duration_ns : int;
+  total_pages : int;
+  mutation : mutation;
+}
+
+val default_config : config
+(** All scenarios, both allocators, 20 sweeps, 4 CPUs, 50 ms virtual,
+    32 MiB, no mutation. *)
+
+type case = {
+  scenario : Workloads.Chaos.scenario;
+  kind : Workloads.Env.kind;
+  shuffle_seed : int;
+}
+
+type verdict = {
+  case : case;
+  oracle_violations : Shadow.violation list;
+  reader_violations : string list;
+  audit_failures : string list;
+  oracle_events : int;  (** Probe events seen: sanity that hooks fired. *)
+  updates : int;
+  survived : bool;  (** Informational; OOM under faults is not a failure. *)
+  replay : string;  (** Command line reproducing this exact case. *)
+}
+
+val ok : verdict -> bool
+(** No oracle violations, no reader-checker violations, no audit
+    failures. *)
+
+val run_case : config -> case -> verdict
+
+val cases : config -> case list
+(** The full (scenario × kind × shuffle-seed) matrix, in run order. *)
+
+val run : ?progress:(case -> unit) -> config -> verdict list
+(** Run every case; [progress] is called before each. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val summary : Format.formatter -> verdict list -> unit
+(** Per-(scenario, kind) pass/fail table plus details — including the
+    replay command — for every failing case. *)

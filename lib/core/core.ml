@@ -13,6 +13,7 @@ module Slab = Slab
 module Prudence = Prudence
 module Rcudata = Rcudata
 module Workloads = Workloads
+module Check = Check
 module Metrics = Metrics
 module Experiments = Experiments
 module Chaos = Chaos

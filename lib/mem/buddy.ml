@@ -69,6 +69,18 @@ let failed_allocs t = t.failures
 let injected_failures t = t.injected_failures
 let set_fail_hook t hook = t.fail_hook <- hook
 
+let free_blocks t =
+  let acc = ref [] in
+  Array.iteri
+    (fun order tbl ->
+      Hashtbl.iter (fun page () -> acc := (page, order) :: !acc) tbl)
+    t.free;
+  List.sort compare !acc
+
+let allocated_blocks t =
+  List.sort compare
+    (Hashtbl.fold (fun page order acc -> (page, order) :: acc) t.allocated [])
+
 let would_satisfy t ~order =
   if order < 0 || order > t.max_order then
     invalid_arg "Buddy.would_satisfy: order out of range";

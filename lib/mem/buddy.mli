@@ -65,6 +65,13 @@ val would_satisfy : t -> order:int -> bool
 val largest_free_order : t -> int
 (** Largest order with a free block, or -1 if memory is exhausted. *)
 
+val free_blocks : t -> (int * int) list
+(** Every free block as [(start_page, order)], sorted by start page. For
+    external auditors (coverage / overlap / conservation checks). *)
+
+val allocated_blocks : t -> (int * int) list
+(** Every allocated block as [(start_page, order)], sorted by start page. *)
+
 val check_invariants : t -> unit
 (** Asserts internal consistency: used + free page counts add up, free lists
     contain properly aligned disjoint blocks. For tests. *)

@@ -3,6 +3,7 @@ type t = {
   refs : (int, int) Hashtbl.t; (* oid -> total refcount *)
   per_cpu_held : int list array; (* oids held by the open section on a CPU *)
   mutable violation_log : string list; (* reversed *)
+  mutable access_hook : (cpu:int -> oid:int -> unit) option;
 }
 
 let create rcu =
@@ -11,7 +12,10 @@ let create rcu =
     refs = Hashtbl.create 512;
     per_cpu_held = Array.make (Sim.Machine.nr_cpus (Gp.machine rcu)) [];
     violation_log = [];
+    access_hook = None;
   }
+
+let set_access_hook t hook = t.access_hook <- hook
 
 let rcu t = t.rcu
 
@@ -38,6 +42,9 @@ let exit t (cpu : Sim.Machine.cpu) =
   Gp.read_unlock t.rcu cpu
 
 let hold t (cpu : Sim.Machine.cpu) ~oid =
+  (match t.access_hook with
+  | Some hook -> hook ~cpu:cpu.id ~oid
+  | None -> ());
   if cpu.rcu_nesting = 0 then
     record_violation t
       (Printf.sprintf "cpu%d held a reference to object %d outside a \

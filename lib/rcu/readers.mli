@@ -48,3 +48,9 @@ val check_reusable : t -> oid:int -> where:string -> unit
 val record_violation : t -> string -> unit
 val violations : t -> string list
 (** Recorded violations, oldest first. *)
+
+val set_access_hook : t -> (cpu:int -> oid:int -> unit) option -> unit
+(** Install a probe fired on every {!hold} (a reader dereferencing object
+    [oid] on [cpu]) before any bookkeeping. The shadow-heap oracle uses it
+    to flag readers touching objects that have already been reclaimed.
+    [None] (default) disables it. *)

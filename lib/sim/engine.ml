@@ -1,6 +1,9 @@
+type tiebreak = Fifo | Shuffle of int
+
 type event = {
   time : int;
   seq : int;
+  tie : int;
   fn : unit -> unit;
   daemon : bool;
   mutable cancelled : bool;
@@ -16,15 +19,45 @@ type t = {
   mutable executed : int;
   mutable busy : int; (* queued non-daemon events *)
   mutable waiters : int; (* suspended processes (condition waits) *)
+  tiebreak : tiebreak;
   queue : event Heap.t;
   rng : Rng.t;
 }
 
 let compare_events a b =
   let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = compare a.tie b.tie in
+    if c <> 0 then c else compare a.seq b.seq
 
-let create ?(seed = 42) () =
+(* splitmix64 finalizer: good avalanche, so (seed, time, seq) triples map to
+   effectively independent tie keys. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* With [Fifo] every event gets the same key, so comparison falls through to
+   [seq]: exact scheduling order, the historical behaviour. With [Shuffle]
+   same-instant events get pseudo-random relative order, deterministic in
+   (shuffle seed, time, seq) — a perturbed but replayable serialization of
+   logically concurrent events. *)
+let tie_for policy ~time ~seq =
+  match policy with
+  | Fifo -> 0
+  | Shuffle seed ->
+      let h =
+        let open Int64 in
+        mix64
+          (add
+             (mul (of_int time) 0x9e3779b97f4a7c15L)
+             (add (mul (of_int seq) 0xd1b54a32d192ed03L) (of_int seed)))
+      in
+      Int64.to_int h land max_int
+
+let create ?(seed = 42) ?(tiebreak = Fifo) () =
   {
     now = 0;
     seq = 0;
@@ -33,19 +66,22 @@ let create ?(seed = 42) () =
     executed = 0;
     busy = 0;
     waiters = 0;
+    tiebreak;
     queue = Heap.create ~cmp:compare_events ();
     rng = Rng.create ~seed;
   }
 
 let now t = t.now
 let rng t = t.rng
+let tiebreak t = t.tiebreak
 
 let schedule_at ?(daemon = false) t ~time fn =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
          time t.now);
-  let ev = { time; seq = t.seq; fn; daemon; cancelled = false } in
+  let tie = tie_for t.tiebreak ~time ~seq:t.seq in
+  let ev = { time; seq = t.seq; tie; fn; daemon; cancelled = false } in
   t.seq <- t.seq + 1;
   if not daemon then t.busy <- t.busy + 1;
   Heap.push t.queue ev;
@@ -63,7 +99,14 @@ let cancel ev = ev.cancelled <- true
 
 let stop t = t.stop_requested <- true
 let stopped t = t.stop_requested
-let pending t = Heap.length t.queue
+
+(* Cancelled events stay in the heap until their time comes (cancel is O(1),
+   a heap delete is not), so count only the live ones. *)
+let pending t =
+  let n = ref 0 in
+  Heap.iter (fun ev -> if not ev.cancelled then incr n) t.queue;
+  !n
+
 let executed t = t.executed
 
 let exec t ev =

@@ -15,8 +15,23 @@ type t
 type handle
 (** Cancellation handle for a scheduled event. *)
 
-val create : ?seed:int -> unit -> t
-(** [create ~seed ()] makes a fresh engine at time 0. Default seed 42. *)
+type tiebreak =
+  | Fifo  (** Same-instant events run in scheduling order (default). *)
+  | Shuffle of int
+      (** Same-instant events run in a pseudo-random order derived
+          deterministically from this shuffle seed (and each event's time
+          and sequence number). Events at distinct times are unaffected.
+          Used by the [Check] subsystem to sweep perturbed but replayable
+          schedules: two runs with the same shuffle seed are identical,
+          different seeds explore different serializations of logically
+          concurrent events. *)
+
+val create : ?seed:int -> ?tiebreak:tiebreak -> unit -> t
+(** [create ~seed ()] makes a fresh engine at time 0. Default seed 42,
+    default tie-break {!Fifo} (the historical, byte-identical order). *)
+
+val tiebreak : t -> tiebreak
+(** The engine's same-instant tie-break policy. *)
 
 val now : t -> int
 (** Current virtual time in nanoseconds. *)
@@ -53,7 +68,8 @@ val stopped : t -> bool
 (** Whether [stop] has been called. *)
 
 val pending : t -> int
-(** Number of queued events (including cancelled ones not yet dropped). *)
+(** Number of queued live events. Cancelled handles stay in the queue until
+    their scheduled time but are not counted. O(queued events). *)
 
 val executed : t -> int
 (** Total number of events executed so far (diagnostic). *)

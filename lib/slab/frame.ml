@@ -1,5 +1,12 @@
 type grow_retry_policy = { max_retries : int; base_backoff_ns : int }
 
+type probe = {
+  on_alloc : oid:int -> unit;
+  on_free : oid:int -> unit;
+  on_defer : oid:int -> cookie:int -> unit;
+  on_pool : oid:int -> cookie:int -> unit;
+}
+
 type env = {
   machine : Sim.Machine.t;
   buddy : Mem.Buddy.t;
@@ -11,6 +18,7 @@ type env = {
          zeroing and higher-order assembly). This is the contention that
          makes the baseline collapse at large object sizes (Fig. 6). *)
   mutable reuse_check : (int -> unit) option;
+  mutable probe : probe option;
   mutable grow_retry : grow_retry_policy option;
   mutable next_oid : int;
   mutable next_sid : int;
@@ -24,6 +32,7 @@ let make_env ?pressure ?(costs = Costs.default) machine buddy =
     costs;
     page_lock = Sim.Simlock.create ~name:"page-allocator";
     reuse_check = None;
+    probe = None;
     grow_retry = None;
     next_oid = 0;
     next_sid = 0;
@@ -317,14 +326,24 @@ let take_free_obj slab =
       slab.in_flight <- slab.in_flight + 1;
       Some obj
 
+(* The two entry points to the free pool: anything the shadow-heap oracle
+   must vet (a deferred object becoming reusable) passes through one of
+   these, whichever allocator policy drives it. *)
+let probe_pool env obj =
+  match env.probe with
+  | Some p -> p.on_pool ~oid:obj.oid ~cookie:obj.gp_cookie
+  | None -> ()
+
 let put_free_obj slab obj =
   assert (obj.parent == slab);
+  probe_pool slab.cache.env obj;
   obj.ostate <- Free_in_slab;
   slab.free_objs <- obj :: slab.free_objs;
   slab.free_n <- slab.free_n + 1;
   slab.in_flight <- slab.in_flight - 1
 
-let push_ocache _cache pc obj =
+let push_ocache cache pc obj =
+  probe_pool cache.env obj;
   obj.ostate <- In_object_cache;
   pc.ocache <- obj :: pc.ocache;
   pc.ocache_n <- pc.ocache_n + 1
@@ -357,6 +376,9 @@ let hand_to_user cache (cpu : Sim.Machine.cpu) obj =
   (match cache.env.reuse_check with
   | Some check -> check obj.oid
   | None -> ());
+  (match cache.env.probe with
+  | Some p -> p.on_alloc ~oid:obj.oid
+  | None -> ());
   (* Working sets beyond the LLC make every object touch a cache/TLB miss;
      an allocator that leaks its reclamation backlog pays this on every
      allocation. *)
@@ -381,12 +403,21 @@ let hand_to_user cache (cpu : Sim.Machine.cpu) obj =
   obj.ostate <- Allocated;
   cache.live_objs <- cache.live_objs + 1
 
+(* Probes fire before the state asserts so a deliberately broken caller
+   (mutation self-tests: double free, double defer) reaches the oracle
+   before the simulation aborts. *)
 let release_from_user cache obj =
+  (match cache.env.probe with
+  | Some p -> p.on_free ~oid:obj.oid
+  | None -> ());
   assert (obj.ostate = Allocated);
   cache.live_objs <- cache.live_objs - 1;
   ignore obj
 
 let stamp_deferred cache obj ~cookie =
+  (match cache.env.probe with
+  | Some p -> p.on_defer ~oid:obj.oid ~cookie
+  | None -> ());
   assert (obj.ostate = Allocated);
   obj.gp_cookie <- cookie;
   if Trace.enabled (tracer cache) then obj.deferred_at <- now cache;

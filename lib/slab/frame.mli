@@ -21,6 +21,25 @@ type grow_retry_policy = {
     grow path (see {!grow}). Requires process context (the backoff sleeps);
     disabled by default. *)
 
+type probe = {
+  on_alloc : oid:int -> unit;
+      (** An object was handed to a mutator ({!hand_to_user}). *)
+  on_free : oid:int -> unit;
+      (** Immediate (non-deferred) release ({!release_from_user}); fires
+          before the state assert so broken callers reach the oracle. *)
+  on_defer : oid:int -> cookie:int -> unit;
+      (** Deferred free stamped with its grace-period cookie
+          ({!stamp_deferred}); fires before the state assert. *)
+  on_pool : oid:int -> cookie:int -> unit;
+      (** The object entered a free pool (object cache or slab freelist) —
+          the reuse boundary a deferred object must not cross before its
+          grace period completes. [cookie] is the object's current
+          grace-period stamp. *)
+}
+(** Verification probes for the shadow-heap safety oracle ([Check.Oracle]).
+    All off ([None]) by default: the probe record is consulted per event
+    but never allocated per event, so disabled probes cost one branch. *)
+
 type env = {
   machine : Sim.Machine.t;
   buddy : Mem.Buddy.t;
@@ -33,6 +52,8 @@ type env = {
   mutable reuse_check : (int -> unit) option;
       (** Safety hook: called with the object id whenever an object is
           handed to a mutator; wired to {!Rcu.Readers.check_reusable}. *)
+  mutable probe : probe option;
+      (** Shadow-heap verification probes; see {!probe}. *)
   mutable grow_retry : grow_retry_policy option;
       (** When set, {!grow} retries transient page-alloc failures (those
           {!Mem.Buddy.would_satisfy} proves injected, not genuine

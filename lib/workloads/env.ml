@@ -12,6 +12,7 @@ type config = {
   cpus : int;
   nodes : int;
   seed : int;
+  tiebreak : Sim.Engine.tiebreak;
   tick_ns : int;
   total_pages : int;
   rcu_config : Rcu.config;
@@ -27,6 +28,7 @@ let default_config =
     cpus = 8;
     nodes = 1;
     seed = 42;
+    tiebreak = Sim.Engine.Fifo;
     tick_ns = 1_000_000;
     total_pages = 65_536;
     rcu_config = Rcu.default_config;
@@ -51,7 +53,7 @@ type t = {
 }
 
 let build cfg =
-  let eng = Sim.Engine.create ~seed:cfg.seed () in
+  let eng = Sim.Engine.create ~seed:cfg.seed ~tiebreak:cfg.tiebreak () in
   let machine =
     Sim.Machine.create eng ~cpus:cfg.cpus ~nodes:cfg.nodes ~tick_ns:cfg.tick_ns
       ()

@@ -15,6 +15,10 @@ type config = {
   cpus : int;
   nodes : int;
   seed : int;
+  tiebreak : Sim.Engine.tiebreak;
+      (** Same-instant event ordering: [Fifo] (default, byte-identical
+          schedules) or [Shuffle seed] for the checker's schedule
+          exploration. *)
   tick_ns : int;
   total_pages : int;  (** Physical memory: pages of 4 KiB. *)
   rcu_config : Rcu.config;

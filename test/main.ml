@@ -29,5 +29,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);
       ("experiments", Test_experiments.suite);
+      ("check", Test_check.suite);
+      ("determinism", Test_determinism.suite);
       ("properties", Test_properties.suite);
     ]

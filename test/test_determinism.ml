@@ -1,0 +1,78 @@
+(* Golden determinism: the same seed must reproduce experiment reports and
+   the chaos matrix byte-for-byte. This pins two things at once — the
+   simulation is genuinely deterministic, and the default [Fifo]
+   tie-break leaves historical schedules untouched (the [Shuffle] policy
+   is opt-in perturbation only). *)
+
+let tiny =
+  {
+    Core.Experiments.default_params with
+    Core.Experiments.scale = 0.03;
+    cpus = 2;
+  }
+
+let render_reports reports =
+  Format.asprintf "%a"
+    (fun ppf rs -> Core.Metrics.Report.print_all ppf rs)
+    reports
+
+let test_experiment_report_golden () =
+  let a = render_reports (Core.Experiments.run_costs tiny) in
+  let b = render_reports (Core.Experiments.run_costs tiny) in
+  Alcotest.(check string) "costs report byte-identical" a b;
+  Alcotest.(check bool) "report is non-trivial" true (String.length a > 100)
+
+let chaos_cfg scenario =
+  {
+    (Workloads.Chaos.default_config ~scenario) with
+    Workloads.Chaos.cpus = 2;
+    duration_ns = Sim.Clock.ms 20;
+    total_pages = 4_096;
+  }
+
+let test_chaos_matrix_golden () =
+  List.iter
+    (fun scenario ->
+      let a = Workloads.Chaos.run_pair (chaos_cfg scenario) in
+      let b = Workloads.Chaos.run_pair (chaos_cfg scenario) in
+      Alcotest.(check bool)
+        (Workloads.Chaos.scenario_name scenario ^ " outcomes identical")
+        true (a = b))
+    [ Workloads.Chaos.Clean; Workloads.Chaos.Cb_flood ]
+
+(* Installing the verification stack must not steer the simulation: a
+   checked run and an unchecked run of the same case do the same work. *)
+let test_oracle_is_pure_observation () =
+  let base =
+    {
+      Check.Sweep.default_config with
+      Check.Sweep.scenarios = [ Workloads.Chaos.Clean ];
+      kinds = [ Workloads.Env.Prudence_alloc ];
+      sweeps = 1;
+      cpus = 2;
+      duration_ns = Sim.Clock.ms 10;
+      total_pages = 4_096;
+    }
+  in
+  let case =
+    {
+      Check.Sweep.scenario = Workloads.Chaos.Clean;
+      kind = Workloads.Env.Prudence_alloc;
+      shuffle_seed = 5;
+    }
+  in
+  let v1 = Check.Sweep.run_case base case in
+  let v2 = Check.Sweep.run_case base case in
+  Alcotest.(check int) "same updates across identical checked runs"
+    v1.Check.Sweep.updates v2.Check.Sweep.updates;
+  Alcotest.(check int) "same probe event count"
+    v1.Check.Sweep.oracle_events v2.Check.Sweep.oracle_events
+
+let suite =
+  [
+    Alcotest.test_case "experiment report golden" `Quick
+      test_experiment_report_golden;
+    Alcotest.test_case "chaos matrix golden" `Quick test_chaos_matrix_golden;
+    Alcotest.test_case "checked runs reproduce" `Quick
+      test_oracle_is_pure_observation;
+  ]

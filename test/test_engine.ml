@@ -111,6 +111,65 @@ let test_executed_counter () =
   Sim.Engine.run eng;
   Alcotest.(check int) "executed" 7 (Sim.Engine.executed eng)
 
+(* Regression: cancelled events stay in the heap (cancel is O(1)) but must
+   not be reported as pending work. *)
+let test_pending_excludes_cancelled () =
+  let eng = Sim.Engine.create () in
+  let h1 = Sim.Engine.schedule eng ~after:10 ignore in
+  ignore (Sim.Engine.schedule eng ~after:20 ignore);
+  ignore (Sim.Engine.schedule eng ~after:30 ignore);
+  Alcotest.(check int) "three pending" 3 (Sim.Engine.pending eng);
+  Sim.Engine.cancel h1;
+  Alcotest.(check int) "cancelled one excluded" 2 (Sim.Engine.pending eng);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "drained" 0 (Sim.Engine.pending eng);
+  Alcotest.(check int) "cancelled one never ran" 2 (Sim.Engine.executed eng)
+
+(* Record the order in which [n] same-instant events fire under a
+   tie-break policy. *)
+let same_time_order ?tiebreak n =
+  let eng = Sim.Engine.create ?tiebreak () in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    ignore (Sim.Engine.schedule eng ~after:5 (fun () -> order := i :: !order))
+  done;
+  Sim.Engine.run eng;
+  List.rev !order
+
+let test_shuffle_tiebreak () =
+  let fifo = same_time_order 12 in
+  Alcotest.(check (list int)) "fifo = submission order"
+    (List.init 12 Fun.id) fifo;
+  (* Shuffling is deterministic in the seed... *)
+  let s1 = same_time_order ~tiebreak:(Sim.Engine.Shuffle 1) 12 in
+  let s1' = same_time_order ~tiebreak:(Sim.Engine.Shuffle 1) 12 in
+  Alcotest.(check (list int)) "same seed, same order" s1 s1';
+  (* ...still a permutation... *)
+  Alcotest.(check (list int)) "a permutation"
+    (List.init 12 Fun.id)
+    (List.sort compare s1);
+  (* ...and some seed actually perturbs the order. *)
+  let perturbed = ref false in
+  for seed = 1 to 10 do
+    if same_time_order ~tiebreak:(Sim.Engine.Shuffle seed) 12 <> fifo then
+      perturbed := true
+  done;
+  Alcotest.(check bool) "some seed perturbs same-instant order" true
+    !perturbed
+
+let test_shuffle_preserves_time_order () =
+  let eng = Sim.Engine.create ~tiebreak:(Sim.Engine.Shuffle 3) () in
+  let times = ref [] in
+  for i = 0 to 19 do
+    ignore
+      (Sim.Engine.schedule eng ~after:(100 - (5 * (i mod 4))) (fun () ->
+           times := Sim.Engine.now eng :: !times))
+  done;
+  Sim.Engine.run eng;
+  let times = List.rev !times in
+  Alcotest.(check bool) "virtual time still monotone" true
+    (List.sort compare times = times)
+
 let suite =
   [
     Alcotest.test_case "events run in time order" `Quick test_schedule_order;
@@ -127,4 +186,9 @@ let suite =
     Alcotest.test_case "every: periodic" `Quick test_every_periodic;
     Alcotest.test_case "every: phase" `Quick test_every_phase;
     Alcotest.test_case "executed counter" `Quick test_executed_counter;
+    Alcotest.test_case "pending excludes cancelled" `Quick
+      test_pending_excludes_cancelled;
+    Alcotest.test_case "shuffle tie-break" `Quick test_shuffle_tiebreak;
+    Alcotest.test_case "shuffle keeps time order" `Quick
+      test_shuffle_preserves_time_order;
   ]

@@ -179,10 +179,91 @@ let test_numa_prudence_latent_per_node () =
   Alcotest.(check int) "all recycled" 0 (Prudence.latent_outstanding pr);
   Slab.Frame.check_invariants cache
 
+(* Buddy allocator: any interleaving of alloc / free / would_satisfy
+   keeps the block sets tiling the arena exactly (coverage, no overlap,
+   split/merge conservation — delegated to the [Check.Audit] walker), and
+   [would_satisfy] answers exactly as a real allocation would. *)
+let prop_buddy_coverage_and_conservation =
+  QCheck.Test.make ~name:"buddy: coverage + conservation under random ops"
+    ~count:80
+    QCheck.(list_of_size Gen.(1 -- 60) (pair bool (int_bound 3)))
+    (fun ops ->
+      let b = Mem.Buddy.create ~total_pages:64 () in
+      let held = ref [] in
+      let step (want_alloc, order) =
+        (if want_alloc || !held = [] then begin
+           let promised = Mem.Buddy.would_satisfy b ~order in
+           match Mem.Buddy.alloc b ~order with
+           | Some blk ->
+               if not promised then raise Exit;
+               held := blk :: !held
+           | None -> if promised then raise Exit
+         end
+         else
+           match !held with
+           | blk :: rest ->
+               Mem.Buddy.free b blk;
+               held := rest
+           | [] -> ());
+        Check.Audit.buddy b = []
+      in
+      List.for_all step ops
+      &&
+      begin
+        (* Conservation end state: freeing everything re-merges the whole
+           arena into max-order blocks. *)
+        List.iter (Mem.Buddy.free b) !held;
+        Check.Audit.buddy b = []
+        && Mem.Buddy.used_pages b = 0
+        && Mem.Buddy.would_satisfy b ~order:(Mem.Buddy.largest_free_order b)
+      end)
+
+(* Segmented callback list: segment counts always sum, and no callback is
+   ever lost or double-invoked across random enqueue / advance / drain
+   interleavings. *)
+let prop_cblist_conserves_callbacks =
+  QCheck.Test.make ~name:"cblist: no callback lost across GP advance"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (pair (int_bound 2) (int_bound 3)))
+    (fun ops ->
+      let cbl = Rcu.Cblist.create () in
+      let enqueued = ref 0 and invoked = ref 0 and taken = ref 0 in
+      let cookie = ref 1 and completed = ref 0 in
+      let step (op, arg) =
+        (match op with
+        | 0 ->
+            (* Enqueue with a non-decreasing cookie. *)
+            cookie := !cookie + arg;
+            incr enqueued;
+            Rcu.Cblist.enqueue cbl ~cookie:!cookie (fun () -> incr invoked)
+        | 1 ->
+            completed := !completed + arg;
+            ignore (Rcu.Cblist.advance cbl ~completed:!completed)
+        | _ ->
+            let cbs = Rcu.Cblist.take_done cbl ~max:(1 + arg) in
+            taken := !taken + List.length cbs;
+            List.iter (fun f -> f ()) cbs);
+        Rcu.Cblist.waiting cbl + Rcu.Cblist.ready cbl = Rcu.Cblist.total cbl
+        && Rcu.Cblist.total cbl + !taken = !enqueued
+        && !invoked = !taken
+      in
+      List.for_all step ops
+      &&
+      begin
+        (* Drain completely: everything enqueued must run exactly once. *)
+        ignore (Rcu.Cblist.advance cbl ~completed:max_int);
+        List.iter
+          (fun f -> f ())
+          (Rcu.Cblist.take_done cbl ~max:max_int);
+        !invoked = !enqueued && Rcu.Cblist.total cbl = 0
+      end)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_callback_waits_for_overlapping_readers;
     QCheck_alcotest.to_alcotest prop_rculist_matches_model;
+    QCheck_alcotest.to_alcotest prop_buddy_coverage_and_conservation;
+    QCheck_alcotest.to_alcotest prop_cblist_conserves_callbacks;
     Alcotest.test_case "numa: objects return home" `Quick
       test_numa_objects_return_home;
     Alcotest.test_case "numa: prudence latent per node" `Quick
