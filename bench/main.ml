@@ -8,7 +8,12 @@
      BENCH_SEED=42
      BENCH_RUNS=1     -- repetitions for mean +/- stdev
      BENCH_SKIP_BECHAMEL=1 -- skip the real-time section
-     BENCH_SKIP_TRACE=1 -- skip the traced lifetime-histogram section *)
+     BENCH_SKIP_TRACE=1 -- skip the traced lifetime-histogram section
+     BENCH_OUT=path   -- machine-readable results file (default
+                         BENCH_seed.json); virtual-time metrics only, so
+                         the file is deterministic in (seed, scale, cpus,
+                         runs) and CI can diff it against a committed
+                         baseline with `prudence-repro regress` *)
 
 let getenv_f name default =
   match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
@@ -25,15 +30,37 @@ let params =
     trace = None;
   }
 
+(* Every section's reports accumulate here; their attached metrics become
+   the machine-readable BENCH_seed.json at the end of the run. *)
+let all_reports : Core.Metrics.Report.t list ref = ref []
+
 let section id =
   match Core.Experiments.find id with
   | None -> Format.printf "unknown experiment %s@." id
   | Some e ->
       let t0 = Unix.gettimeofday () in
       let reports = e.Core.Experiments.run params in
+      all_reports := !all_reports @ reports;
       Core.Metrics.Report.print_all Format.std_formatter reports;
       Format.printf "(section %s took %.1fs of real time)@.@." id
         (Unix.gettimeofday () -. t0)
+
+let write_bench_json () =
+  let module B = Core.Stats.Bench_json in
+  let out = Option.value (Sys.getenv_opt "BENCH_OUT") ~default:"BENCH_seed.json" in
+  let doc =
+    B.make
+      ~config:
+        {
+          B.seed = params.Core.Experiments.seed;
+          scale = params.Core.Experiments.scale;
+          cpus = params.Core.Experiments.cpus;
+          runs = params.Core.Experiments.runs;
+        }
+      ~metrics:(Core.Metrics.Report.all_metrics !all_reports)
+  in
+  B.write_file out doc;
+  Format.printf "wrote %s (%d metrics)@." out (List.length doc.B.metrics)
 
 (* ------------------------------------------------------------------ *)
 (* Traced rerun: defer->reuse lifetime histograms, SLUB vs Prudence.   *)
@@ -174,4 +201,5 @@ let () =
     Core.Experiments.all;
   if Sys.getenv_opt "BENCH_SKIP_TRACE" = None then trace_section ();
   if Sys.getenv_opt "BENCH_SKIP_BECHAMEL" = None then bechamel_section ();
+  write_bench_json ();
   Format.printf "@.done.@."

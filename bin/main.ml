@@ -129,25 +129,163 @@ let run_chaos names ring p =
   Core.Metrics.Report.print Format.std_formatter (Core.Chaos.report cp scenarios);
   0
 
+let parse_kinds alloc =
+  match alloc with
+  | "both" -> [ Core.Workloads.Env.Baseline; Core.Workloads.Env.Prudence_alloc ]
+  | s -> (
+      match Core.Workloads.Env.kind_of_string s with
+      | Some k -> [ k ]
+      | None ->
+          Format.eprintf "unknown allocator %S (slub, prudence, both)@." s;
+          exit 2)
+
+let run_stat alloc duration_ms sample_every capacity watch series format
+    registry_table pages scale seed cpus =
+  let module Live = Core.Stats.Live in
+  let module Providers = Core.Stats.Providers in
+  if cpus <= 0 then begin
+    Format.eprintf "--cpus must be positive (got %d)@." cpus;
+    exit 2
+  end;
+  if duration_ms <= 0 then begin
+    Format.eprintf "--duration-ms must be positive (got %d)@." duration_ms;
+    exit 2
+  end;
+  if sample_every <= 0 then begin
+    Format.eprintf "--sample-every must be positive (got %d ns)@." sample_every;
+    exit 2
+  end;
+  if capacity <= 0 then begin
+    Format.eprintf "--capacity must be positive (got %d)@." capacity;
+    exit 2
+  end;
+  if pages <= 0 then begin
+    Format.eprintf "--pages must be positive (got %d)@." pages;
+    exit 2
+  end;
+  let ext =
+    match format with
+    | "csv" | "ndjson" -> format
+    | s ->
+        Format.eprintf "unknown series format %S (csv, ndjson)@." s;
+        exit 2
+  in
+  let kinds = parse_kinds alloc in
+  let series_file label =
+    match series with
+    | None -> None
+    | Some base ->
+        if List.length kinds = 1 then Some base
+        else
+          (* Both allocators share one --series flag: suffix the label. *)
+          Some
+            (match Filename.chop_suffix_opt ~suffix:("." ^ ext) base with
+            | Some stem -> Printf.sprintf "%s-%s.%s" stem label ext
+            | None -> Printf.sprintf "%s-%s" base label)
+  in
+  List.iter
+    (fun kind ->
+      let cfg =
+        {
+          Live.kind;
+          seed;
+          cpus;
+          scale;
+          duration_ns = duration_ms * 1_000_000;
+          sample_every_ns = sample_every;
+          capacity;
+          total_pages = pages;
+        }
+      in
+      let on_watch =
+        if not watch then None
+        else
+          Some
+            (fun ~time_ns ~snapshot ->
+              Format.printf "---- %s @ %.1f ms (virtual) ----@.%s@."
+                (Core.Workloads.Env.kind_label kind)
+                (float_of_int time_ns /. 1e6)
+                snapshot)
+      in
+      let r = Live.run ?on_watch cfg in
+      Format.printf "==== %s: final state after %.0f ms virtual ====@."
+        r.Live.label
+        (float_of_int (duration_ms * 1_000_000) *. scale /. 1e6);
+      Format.printf "%s@." (Providers.snapshot ~watch:r.Live.watch r.Live.env);
+      if registry_table then
+        Format.printf "%s@." (Core.Stats.Registry.table r.Live.registry);
+      Format.printf "workload: %d list updates%s@." r.Live.updates
+        (match r.Live.oom_at_ns with
+        | None -> ""
+        | Some t -> Printf.sprintf "; OOM at %.1f ms" (float_of_int t /. 1e6));
+      (match series_file r.Live.label with
+      | None -> ()
+      | Some file ->
+          let body =
+            match ext with
+            | "csv" -> Core.Sim.Sampler.to_csv r.Live.sampler
+            | _ -> Core.Sim.Sampler.to_ndjson r.Live.sampler
+          in
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc body);
+          Format.printf "wrote %s (%d samples, %d dropped)@." file
+            (Core.Sim.Sampler.rows r.Live.sampler)
+            (Core.Sim.Sampler.dropped r.Live.sampler));
+      Format.printf "@.")
+    kinds;
+  0
+
+let run_regress baseline_file current_file tolerance json =
+  let module B = Core.Stats.Bench_json in
+  if tolerance < 0. then begin
+    Format.eprintf "--tolerance-pct must be non-negative (got %g)@." tolerance;
+    exit 2
+  end;
+  let load what file =
+    match B.load_file file with
+    | Ok t -> t
+    | Error e ->
+        Format.eprintf "cannot load %s %s: %s@." what file e;
+        exit 2
+  in
+  let baseline = load "baseline" baseline_file in
+  let current = load "current" current_file in
+  match B.config_mismatch ~baseline ~current with
+  | Some msg ->
+      Format.eprintf "%s@." msg;
+      1
+  | None ->
+      let drifts =
+        B.compare_runs ~default_tolerance_pct:tolerance ~baseline ~current ()
+      in
+      let failed = B.failures drifts in
+      if json then
+        List.iter
+          (fun d ->
+            print_endline (Core.Metrics.Json.to_string (B.drift_to_json d)))
+          drifts
+      else Format.printf "%a" B.pp_drifts drifts;
+      if failed = [] then 0
+      else begin
+        Format.eprintf "regression gate FAILED: %d metric(s) regressed or \
+                        missing@."
+          (List.length failed);
+        1
+      end
+
 let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
-    skip_diff seed cpus =
+    skip_diff json seed cpus =
   let module Sweep = Core.Check.Sweep in
+  let module J = Core.Metrics.Json in
   if sweeps <= 0 || duration_ms <= 0 || pages <= 0 || cpus <= 0 then begin
     Format.eprintf
       "--sweeps, --duration-ms, --pages and --cpus must be positive@.";
     exit 2
   end;
   let scenarios = parse_scenarios names in
-  let kinds =
-    match alloc with
-    | "both" -> [ Core.Workloads.Env.Baseline; Core.Workloads.Env.Prudence_alloc ]
-    | s -> (
-        match Core.Workloads.Env.kind_of_string s with
-        | Some k -> [ k ]
-        | None ->
-            Format.eprintf "unknown allocator %S (slub, prudence, both)@." s;
-            exit 2)
-  in
+  let kinds = parse_kinds alloc in
   let mutation =
     match Sweep.mutation_of_string mutate with
     | Some m -> m
@@ -168,16 +306,17 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
       mutation;
     }
   in
-  Format.printf
-    "sweeping %d scenario(s) x %d allocator(s) x %d shuffled schedule(s) \
-     (shuffle seeds %d..%d, workload seed %d)...@."
-    (List.length scenarios) (List.length kinds) sweeps shuffle_seed
-    (shuffle_seed + sweeps - 1)
-    seed;
+  if not json then
+    Format.printf
+      "sweeping %d scenario(s) x %d allocator(s) x %d shuffled schedule(s) \
+       (shuffle seeds %d..%d, workload seed %d)...@."
+      (List.length scenarios) (List.length kinds) sweeps shuffle_seed
+      (shuffle_seed + sweeps - 1)
+      seed;
   let last = ref None in
   let progress (case : Sweep.case) =
     let key = (case.Sweep.scenario, case.Sweep.kind) in
-    if !last <> Some key then begin
+    if (not json) && !last <> Some key then begin
       last := Some key;
       Format.printf "  %s/%s@."
         (Core.Workloads.Chaos.scenario_name case.Sweep.scenario)
@@ -185,18 +324,71 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
     end
   in
   let verdicts = Sweep.run ~progress cfg in
-  Format.printf "@.%a@." Sweep.summary verdicts;
   let sweep_failed = List.exists (fun v -> not (Sweep.ok v)) verdicts in
+  if json then
+    List.iter
+      (fun (v : Sweep.verdict) ->
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("type", J.Str "verdict");
+                  ( "scenario",
+                    J.Str
+                      (Core.Workloads.Chaos.scenario_name
+                         v.Sweep.case.Sweep.scenario) );
+                  ( "alloc",
+                    J.Str (Core.Workloads.Env.kind_label v.Sweep.case.Sweep.kind)
+                  );
+                  ("shuffle_seed", J.Int v.Sweep.case.Sweep.shuffle_seed);
+                  ("ok", J.Bool (Sweep.ok v));
+                  ( "oracle_violations",
+                    J.Int (List.length v.Sweep.oracle_violations) );
+                  ( "reader_violations",
+                    J.Int (List.length v.Sweep.reader_violations) );
+                  ("audit_failures", J.Int (List.length v.Sweep.audit_failures));
+                  ("oracle_events", J.Int v.Sweep.oracle_events);
+                  ("updates", J.Int v.Sweep.updates);
+                  ("survived", J.Bool v.Sweep.survived);
+                  ("replay", J.Str v.Sweep.replay);
+                ])))
+      verdicts
+  else Format.printf "@.%a@." Sweep.summary verdicts;
   let diff_failed =
     if skip_diff then false
     else begin
       let trace = Core.Check.Differential.gen ~seed () in
       let r = Core.Check.Differential.run ~seed trace in
-      Format.printf "%a@." Core.Check.Differential.pp_result r;
+      if json then
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("type", J.Str "differential");
+                  ("ok", J.Bool r.Core.Check.Differential.ok);
+                  ( "mismatches",
+                    J.Int (List.length r.Core.Check.Differential.mismatches) );
+                ]))
+      else Format.printf "%a@." Core.Check.Differential.pp_result r;
       not r.Core.Check.Differential.ok
     end
   in
-  if sweep_failed || diff_failed then 1 else 0
+  let failed = sweep_failed || diff_failed in
+  if json then
+    print_endline
+      (J.to_string
+         (J.Obj
+            [
+              ("type", J.Str "summary");
+              ("cases", J.Int (List.length verdicts));
+              ( "failed_cases",
+                J.Int
+                  (List.length
+                     (List.filter (fun v -> not (Sweep.ok v)) verdicts)) );
+              ("differential", J.Bool (not skip_diff));
+              ("ok", J.Bool (not failed));
+            ]));
+  if failed then 1 else 0
 
 open Cmdliner
 
@@ -346,6 +538,14 @@ let check_cmd =
     let doc = "Simulated CPUs per run." in
     Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N" ~doc)
   in
+  let json =
+    let doc =
+      "Machine-readable output: one NDJSON object per sweep verdict, one \
+       for the differential replay, one summary line; human progress \
+       output is suppressed."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -356,7 +556,99 @@ let check_cmd =
           command on any violation")
     Term.(
       const run_check $ names $ alloc $ sweeps $ shuffle_seed $ mutate
-      $ duration_ms $ pages $ skip_diff $ seed_arg $ cpus)
+      $ duration_ms $ pages $ skip_diff $ json $ seed_arg $ cpus)
+
+let stat_cmd =
+  let alloc =
+    let doc = "Allocator stack(s) to introspect: slub, prudence or both." in
+    Arg.(value & opt string "both" & info [ "alloc" ] ~docv:"KIND" ~doc)
+  in
+  let duration_ms =
+    let doc = "Virtual run length in milliseconds (scaled by --scale)." in
+    Arg.(value & opt int 2_000 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+  in
+  let sample_every =
+    let doc = "Sampler period in virtual nanoseconds." in
+    Arg.(value & opt int 10_000_000 & info [ "sample-every" ] ~docv:"NS" ~doc)
+  in
+  let capacity =
+    let doc = "Time-series ring capacity in rows (oldest rows drop)." in
+    Arg.(value & opt int 4_096 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let watch =
+    let doc =
+      "Print a full snapshot periodically during the run (every 10 sampler \
+       periods of virtual time), with churn columns showing per-interval \
+       deltas."
+    in
+    Arg.(value & flag & info [ "watch" ] ~doc)
+  in
+  let series =
+    let doc =
+      "Export the sampled time series to $(docv) (with --alloc both, the \
+       allocator label is appended to the file name)."
+    in
+    Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+  in
+  let format =
+    let doc = "Series export format: csv or ndjson." in
+    Arg.(value & opt string "csv" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let registry_table =
+    let doc = "Also print the flat metric-registry table (every registered \
+               counter/gauge/derived metric with its current value)." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let pages =
+    let doc = "Physical memory, in 4 KiB pages." in
+    Arg.(value & opt int 65_536 & info [ "pages" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Live allocator/RCU introspection: run the Fig. 3 endurance load \
+          and report buddyinfo-style free-block counts, slabtop-style \
+          per-cache activity, RCU grace-period/backlog state and \
+          Prudence latent-cache occupancy; optionally sample any \
+          registered metric into a bounded time-series ring and export it")
+    Term.(
+      const run_stat $ alloc $ duration_ms $ sample_every $ capacity $ watch
+      $ series $ format $ registry_table $ pages $ scale_arg $ seed_arg
+      $ cpus_arg)
+
+let regress_cmd =
+  let baseline =
+    let doc = "Committed baseline BENCH_seed.json." in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let current =
+    let doc = "Freshly generated BENCH_seed.json to gate." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "current" ] ~docv:"FILE" ~doc)
+  in
+  let tolerance =
+    let doc =
+      "Default drift tolerance in percent for metrics that do not carry \
+       their own."
+    in
+    Arg.(value & opt float 5.0 & info [ "tolerance-pct" ] ~docv:"PCT" ~doc)
+  in
+  let json =
+    let doc = "Emit one NDJSON object per metric drift instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:
+         "Bench regression gate: compare a fresh BENCH_seed.json against \
+          the committed baseline; exit 1 when any metric drifts past its \
+          tolerance in the paper-unexpected direction (or disappears)")
+    Term.(const run_regress $ baseline $ current $ tolerance $ json)
 
 let main_cmd =
   let doc =
@@ -365,6 +657,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
-    [ list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd ]
+    [ list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd; stat_cmd; regress_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

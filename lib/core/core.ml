@@ -15,6 +15,7 @@ module Rcudata = Rcudata
 module Workloads = Workloads
 module Check = Check
 module Metrics = Metrics
+module Stats = Stats
 module Experiments = Experiments
 module Chaos = Chaos
 

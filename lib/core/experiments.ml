@@ -115,8 +115,27 @@ let run_fig3 params =
       (T.fmt_i slub.W.Endurance.max_backlog)
       prud.W.Endurance.final_used_mib
   in
+  let metrics =
+    let m = Report.metric in
+    [
+      m "fig3.slub.peak_used_mib" slub.W.Endurance.peak_used_mib;
+      m "fig3.slub.max_backlog" (float_of_int slub.W.Endurance.max_backlog);
+      m ~direction:Report.Higher_better "fig3.slub.updates"
+        (float_of_int slub.W.Endurance.updates);
+      m ~direction:Report.Lower_better "fig3.prudence.peak_used_mib"
+        prud.W.Endurance.peak_used_mib;
+      m ~direction:Report.Lower_better "fig3.prudence.final_used_mib"
+        prud.W.Endurance.final_used_mib;
+      m ~direction:Report.Higher_better "fig3.prudence.updates"
+        (float_of_int prud.W.Endurance.updates);
+      (* 1.0 = Prudence survived the whole run; any OOM is a regression. *)
+      m ~direction:Report.Higher_better ~tolerance_pct:0.
+        "fig3.prudence.survived"
+        (match prud.W.Endurance.oom_at_ns with None -> 1. | Some _ -> 0.);
+    ]
+  in
   [
-    Report.make ~id:"fig3"
+    Report.make ~metrics ~id:"fig3"
       ~title:
         "Impact of RCU on the allocator: total used memory under continuous \
          list updates (512 B objects, all CPUs)"
@@ -204,8 +223,14 @@ let run_costs params =
     Printf.sprintf "refill = %.1fx hit, grow = %.1fx hit (paper: 4x and 14x)"
       (ratio refill_cost) (ratio grow_cost)
   in
+  let metrics =
+    [
+      Report.metric "costs.refill_x_hit" (ratio refill_cost);
+      Report.metric "costs.grow_x_hit" (ratio grow_cost);
+    ]
+  in
   [
-    Report.make ~id:"costs"
+    Report.make ~metrics ~id:"costs"
       ~title:"Relative cost of allocation paths (drives the cost model)"
       ~paper_claim:
         "allocation is 4x a cache hit when it refills the object cache and \
@@ -303,8 +328,24 @@ let run_fig6 params =
        (paper: 3.9x to 28.6x, peaking at 4096 bytes)"
       min_s max_s max_size
   in
+  let metrics =
+    (* Per-seed virtual-time runs are deterministic, but speedups compare
+       two stacks whose schedules diverge, so allow generous drift. *)
+    List.map
+      (fun (sz, s) ->
+        Report.metric ~direction:Report.Higher_better ~tolerance_pct:25.
+          (Printf.sprintf "fig6.speedup.%db" sz)
+          s)
+      speedups
+    @ [
+        Report.metric ~direction:Report.Higher_better ~tolerance_pct:25.
+          "fig6.speedup.min" min_s;
+        Report.metric ~direction:Report.Higher_better ~tolerance_pct:25.
+          "fig6.speedup.max" max_s;
+      ]
+  in
   [
-    Report.make ~id:"fig6"
+    Report.make ~metrics ~id:"fig6"
       ~title:
         "kmalloc/kfree_deferred pairs per second, tight loop on all CPUs, \
          by object size"
@@ -407,20 +448,27 @@ let report_fig7 params apps =
       ~header:[ "benchmark cache"; "slub hits"; "prudence hits"; "change" ]
       rows
   in
-  Report.make ~id:"fig7"
+  let ups =
+    List.length
+      (List.filter
+         (fun r -> String.length (List.nth r 3) > 0 && (List.nth r 3).[0] = '+')
+         rows)
+  in
+  Report.make
+    ~metrics:
+      [
+        Report.metric ~direction:Report.Higher_better ~tolerance_pct:0.
+          "fig7.pairs_improved" (float_of_int ups);
+        Report.metric "fig7.pairs_total" (float_of_int (List.length rows));
+      ]
+    ~id:"fig7"
     ~title:"Allocation requests served from the object cache (hit rate)"
     ~paper_claim:
       "Prudence improves cache hits for every reported slab cache: deferred \
        objects merge into the object cache right after the grace period \
        instead of waiting for RCU's callback processing"
     ~verdict:
-      (let ups =
-         List.length
-           (List.filter
-              (fun r -> String.length (List.nth r 3) > 0 && (List.nth r 3).[0] = '+')
-              rows)
-       in
-       Printf.sprintf "hit rate improved for %d of %d cache/benchmark pairs"
+      (Printf.sprintf "hit rate improved for %d of %d cache/benchmark pairs"
          ups (List.length rows))
     table
 
@@ -452,7 +500,15 @@ let report_fig8 params apps =
       ~header:[ "benchmark cache"; "slub churns"; "prudence churns"; "change" ]
       rows
   in
-  Report.make ~id:"fig8"
+  Report.make
+    ~metrics:
+      [
+        Report.metric ~direction:Report.Higher_better ~tolerance_pct:0.
+          "fig8.pairs_improved"
+          (float_of_int (count_improved rows));
+        Report.metric "fig8.pairs_total" (float_of_int (List.length rows));
+      ]
+    ~id:"fig8"
     ~title:"Object cache churns (refill/flush pairs)"
     ~paper_claim:
       "Prudence cuts object-cache churns by 26-96%, except PostgreSQL \
@@ -474,7 +530,14 @@ let report_fig9 params apps =
       ~header:[ "benchmark cache"; "slub churns"; "prudence churns"; "change" ]
       rows
   in
-  Report.make ~id:"fig9" ~title:"Slab churns (grow/shrink pairs)"
+  Report.make
+    ~metrics:
+      [
+        Report.metric ~direction:Report.Higher_better ~tolerance_pct:0.
+          "fig9.pairs_improved"
+          (float_of_int (count_improved rows));
+      ]
+    ~id:"fig9" ~title:"Slab churns (grow/shrink pairs)"
     ~paper_claim:
       "Prudence cuts slab churns by 21-98% (Netperf filp collapses from \
        364K to 6K); Postmark dentry improves least (-3.1%)"
@@ -493,7 +556,14 @@ let report_fig10 params apps =
       ~header:[ "benchmark cache"; "slub peak"; "prudence peak"; "change" ]
       rows
   in
-  Report.make ~id:"fig10" ~title:"Peak slab usage (maximum memory footprint)"
+  Report.make
+    ~metrics:
+      [
+        Report.metric ~direction:Report.Higher_better ~tolerance_pct:0.
+          "fig10.pairs_improved"
+          (float_of_int (count_improved rows));
+      ]
+    ~id:"fig10" ~title:"Peak slab usage (maximum memory footprint)"
     ~paper_claim:
       "Prudence reduces peak slab usage 2.5-30.6% for most caches (deferred \
        objects are reusable right after the grace period, avoiding slab \
@@ -516,7 +586,22 @@ let report_fig11 params apps =
       ~header:[ "benchmark cache"; "slub f_t"; "prudence f_t"; "change" ]
       rows
   in
-  Report.make ~id:"fig11"
+  let improved_or_equal =
+    List.length
+      (List.filter
+         (fun r ->
+           let c = List.nth r 3 in
+           c = "-" || (String.length c > 0 && c.[0] = '-') || c = "+0.0%")
+         rows)
+  in
+  Report.make
+    ~metrics:
+      [
+        Report.metric ~direction:Report.Higher_better ~tolerance_pct:0.
+          "fig11.pairs_improved_or_equal"
+          (float_of_int improved_or_equal);
+      ]
+    ~id:"fig11"
     ~title:"Total fragmentation after each run (allocated/requested bytes)"
     ~paper_claim:
       "Prudence reduces fragmentation 7-33% for many caches (slab selection \
@@ -525,14 +610,7 @@ let report_fig11 params apps =
     ~verdict:
       (Printf.sprintf
          "fragmentation reduced or equal for %d of %d cache/benchmark pairs"
-         (List.length
-            (List.filter
-               (fun r ->
-                 let c = List.nth r 3 in
-                 c = "-" || (String.length c > 0 && c.[0] = '-')
-                 || c = "+0.0%")
-               rows))
-         (List.length rows))
+         improved_or_equal (List.length rows))
     table
 
 let report_fig12 apps =
@@ -549,7 +627,15 @@ let report_fig12 apps =
   let table =
     T.render ~header:[ "benchmark"; "slub"; "prudence" ] rows
   in
-  Report.make ~id:"fig12"
+  Report.make
+    ~metrics:
+      (List.map
+         (fun (b, _, p) ->
+           Report.metric
+             (Printf.sprintf "fig12.%s.deferred_pct" b)
+             p.W.Appmodel.deferred_pct)
+         apps)
+    ~id:"fig12"
     ~title:"Deferred frees as a share of all free operations"
     ~paper_claim:
       "Postmark 24.4%, Apache 18%, Netperf 14%, PostgreSQL 4.4% — the \
@@ -583,7 +669,18 @@ let report_fig13 apps =
       ~header:[ "benchmark"; "slub txn/s"; "prudence txn/s"; "improvement" ]
       rows
   in
-  Report.make ~id:"fig13" ~title:"Overall benchmark throughput"
+  Report.make
+    ~metrics:
+      (List.map
+         (fun (b, s, p) ->
+           (* Throughput deltas compare two divergent schedules; allow
+              generous drift and fail only on a substantial collapse. *)
+           Report.metric ~direction:Report.Higher_better ~tolerance_pct:30.
+             (Printf.sprintf "fig13.%s.improvement_pct" b)
+             (Sim.Stat.percent_change ~baseline:s.W.Appmodel.throughput
+                p.W.Appmodel.throughput))
+         apps)
+    ~id:"fig13" ~title:"Overall benchmark throughput"
     ~paper_claim:
       "Prudence improves end-to-end throughput: Postmark +18% (highest \
        deferred share), Apache +5.6%, PostgreSQL +4.6%, Netperf +4.2%"
@@ -680,7 +777,16 @@ let run_tree params =
       [ row "slub" s_snap s_rate s_updates; row "prudence" p_snap p_rate p_updates ]
   in
   [
-    Report.make ~id:"tree"
+    Report.make
+      ~metrics:
+        [
+          Report.metric ~direction:Report.Higher_better ~tolerance_pct:25.
+            "tree.speedup" (p_rate /. s_rate);
+          Report.metric "tree.defers_per_update"
+            (float_of_int p_snap.Slab.Slab_stats.deferred_frees
+            /. float_of_int (max 1 p_updates));
+        ]
+      ~id:"tree"
       ~title:
         "Extension: RCU tree updates (path copying defers several objects \
          per operation)"

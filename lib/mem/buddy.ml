@@ -58,6 +58,7 @@ let create ?(page_size = 4096) ?(max_order = 10) ~total_pages () =
   t
 
 let page_size t = t.page_size
+let max_order t = t.max_order
 let total_pages t = t.total_pages
 let used_pages t = t.used
 let free_pages t = t.total_pages - t.used

@@ -33,6 +33,7 @@ val free : t -> block -> unit
     [Invalid_argument] on double free or foreign blocks. *)
 
 val page_size : t -> int
+val max_order : t -> int
 val total_pages : t -> int
 val used_pages : t -> int
 val free_pages : t -> int

@@ -31,14 +31,17 @@ let band buckets ~max_rows =
 let render ?(width = 40) ?(max_rows = 20) ~title (h : Trace.Hist.t) =
   let buf = Buffer.create 1024 in
   let count = Trace.Hist.count h in
-  if count = 0 then Printf.sprintf "%s: (no samples)\n" title
-  else begin
+  (* Empty histograms short-circuit on the option accessors: no percentile
+     or mean arithmetic runs on zero samples. *)
+  match (Trace.Hist.mean_opt h, Trace.Hist.percentile_opt h 50.) with
+  | None, _ | _, None -> Printf.sprintf "%s: (no samples)\n" title
+  | Some mean, Some p50 ->
     Buffer.add_string buf
       (Printf.sprintf
          "%s: %d samples  mean %s  p50 %s  p90 %s  p99 %s  max %s\n" title
          count
-         (fmt_ns (int_of_float (Trace.Hist.mean h)))
-         (fmt_ns (Trace.Hist.percentile h 50.))
+         (fmt_ns (int_of_float mean))
+         (fmt_ns p50)
          (fmt_ns (Trace.Hist.percentile h 90.))
          (fmt_ns (Trace.Hist.percentile h 99.))
          (fmt_ns (Trace.Hist.max_value h)));
@@ -60,4 +63,3 @@ let render ?(width = 40) ?(max_rows = 20) ~title (h : Trace.Hist.t) =
              c))
       bands;
     Buffer.contents buf
-  end

@@ -1,0 +1,42 @@
+(** Minimal JSON values: enough to emit and re-read the machine-readable
+    artifacts this repo produces ([BENCH_seed.json], [check --json]
+    NDJSON) without an external dependency.
+
+    The printer is deterministic (object fields keep their given order,
+    numbers render via a fixed format), so two identical runs serialize
+    byte-identically — the property the bench regression gate and the
+    determinism tests rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. Strings are escaped per RFC 8259.
+    [Float] values render with up to 12 significant digits ([%.12g]);
+    non-finite floats render as [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering (for the committed baseline file, so
+    diffs stay reviewable). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document. Numbers with a '.', 'e' or 'E' become
+    [Float]; others become [Int]. Errors carry a character offset. *)
+
+(** {1 Accessors} (for consuming parsed documents) *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] finds a field; [None] on absence or non-objects. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert; anything else is [None]. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

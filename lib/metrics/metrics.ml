@@ -1,6 +1,7 @@
 (** Facade: result tables, ASCII charts and experiment reports. *)
 
 module Table = Table
+module Json = Json
 module Ascii_chart = Ascii_chart
 module Histview = Histview
 module Report = Report

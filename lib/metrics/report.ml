@@ -1,13 +1,51 @@
+type direction = Lower_better | Higher_better | Info
+
+let direction_name = function
+  | Lower_better -> "lower_better"
+  | Higher_better -> "higher_better"
+  | Info -> "info"
+
+let direction_of_string = function
+  | "lower_better" -> Some Lower_better
+  | "higher_better" -> Some Higher_better
+  | "info" -> Some Info
+  | _ -> None
+
+type metric = {
+  name : string;
+  value : float;
+  direction : direction;
+  tolerance_pct : float option;
+}
+
+let metric ?(direction = Info) ?tolerance_pct name value =
+  { name; value; direction; tolerance_pct }
+
 type t = {
   id : string;
   title : string;
   paper_claim : string;
   body : string;
   verdict : string;
+  metrics : metric list;
 }
 
-let make ~id ~title ~paper_claim ~verdict body =
-  { id; title; paper_claim; body; verdict }
+let make ?(metrics = []) ~id ~title ~paper_claim ~verdict body =
+  { id; title; paper_claim; body; verdict; metrics }
+
+let all_metrics reports =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun m ->
+          if Hashtbl.mem seen m.name then
+            invalid_arg
+              (Printf.sprintf "Report.all_metrics: duplicate metric %S" m.name);
+          Hashtbl.add seen m.name ();
+          m)
+        r.metrics)
+    reports
 
 let print fmt r =
   let bar = String.make 78 '=' in

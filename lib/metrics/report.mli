@@ -1,4 +1,33 @@
-(** Experiment reports: what the paper said, what we measured. *)
+(** Experiment reports: what the paper said, what we measured.
+
+    Besides the rendered body, a report can carry {e machine-readable
+    metrics} — the named scalar results of the experiment, each tagged
+    with the direction the paper predicts. The bench harness collects
+    them into [BENCH_seed.json] and the CI regression gate diffs them
+    against a committed baseline. *)
+
+type direction =
+  | Lower_better  (** Regression = value drifted up past tolerance. *)
+  | Higher_better  (** Regression = value drifted down past tolerance. *)
+  | Info  (** Tracked and reported, never a regression by itself. *)
+
+val direction_name : direction -> string
+(** "lower_better" / "higher_better" / "info". *)
+
+val direction_of_string : string -> direction option
+
+type metric = {
+  name : string;  (** Dotted path, e.g. "fig6.speedup.512". *)
+  value : float;
+  direction : direction;
+  tolerance_pct : float option;
+      (** Per-metric drift tolerance override; [None] = comparator
+          default. *)
+}
+
+val metric :
+  ?direction:direction -> ?tolerance_pct:float -> string -> float -> metric
+(** Shorthand; [direction] defaults to [Info]. *)
 
 type t = {
   id : string;  (** "fig3", "fig6", ... *)
@@ -7,11 +36,19 @@ type t = {
       (** The result as stated in the paper (the shape to match). *)
   body : string;  (** Rendered table / chart / prose for this run. *)
   verdict : string;  (** One-line measured summary for EXPERIMENTS.md. *)
+  metrics : metric list;
+      (** Machine-readable results, possibly empty (e.g. ablations). *)
 }
 
 val make :
+  ?metrics:metric list ->
   id:string -> title:string -> paper_claim:string -> verdict:string ->
   string -> t
+
+val all_metrics : t list -> metric list
+(** Concatenated metrics of every report, in report order. Raises
+    [Invalid_argument] on a duplicate metric name (two experiments must
+    not claim the same series in [BENCH_seed.json]). *)
 
 val print : Format.formatter -> t -> unit
 (** Banner + claim + body + verdict. *)

@@ -81,6 +81,13 @@ let now t = Sim.Engine.now t.engine
 let completed t = t.completed_gps
 let pending_callbacks t = t.pending
 let expedited t = t.expedited_flag
+let gp_active t = t.gp_active
+let gp_age_ns t = if t.gp_active then now t - t.gp_started_at else 0
+
+let cpu_backlogs t =
+  Array.map
+    (fun (pc : pcpu) -> (pc.cpu.Sim.Machine.id, Cblist.waiting pc.cbs, Cblist.ready pc.cbs))
+    t.percpu
 
 let set_expedited t flag =
   if flag && not t.expedited_flag then

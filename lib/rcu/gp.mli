@@ -108,6 +108,20 @@ val expedited : t -> bool
 val pending_callbacks : t -> int
 (** Callbacks queued and not yet invoked, across all CPUs. *)
 
+val gp_active : t -> bool
+(** Whether a grace period is in progress right now. *)
+
+val gp_age_ns : t -> int
+(** Virtual nanoseconds since the in-progress grace period started;
+    0 when no grace period is active. The live-introspection analogue of
+    the kernel's [rcu_state.gp_start] debugfs field. *)
+
+val cpu_backlogs : t -> (int * int * int) array
+(** Per-CPU callback-queue occupancy as [(cpu, waiting, ready)]:
+    [waiting] callbacks still need their grace period, [ready] ones are
+    invocable but not yet drained by softirq. Sums to
+    {!pending_callbacks}. *)
+
 type stats = {
   gps_started : int;
   gps_completed : int;

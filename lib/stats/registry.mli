@@ -1,0 +1,57 @@
+(** Typed metric registry.
+
+    A metric is a named, unit-tagged scalar read on demand from the live
+    simulated stack — a {e counter} (monotonic, e.g. grace periods
+    completed), a {e gauge} (instantaneous occupancy, e.g. free pages) or
+    a {e derived} value (computed ratio, e.g. object-cache hit rate).
+    Subsystem providers ({!Providers}) register their metrics here; the
+    [stat] CLI renders the registry as a table and the {!Sim.Sampler}
+    records any subset over virtual time. *)
+
+type kind = Counter | Gauge | Derived
+
+val kind_name : kind -> string
+
+type metric = {
+  name : string;  (** Dotted path: "buddy.free_pages", "rcu.gp_age_ns". *)
+  kind : kind;
+  unit_ : string;  (** "pages", "ns", "%", "objs", "" for raw counts. *)
+  help : string;
+  read : unit -> float;
+}
+
+type t
+
+val create : unit -> t
+
+val register :
+  t -> kind:kind -> name:string -> ?unit_:string -> ?help:string ->
+  (unit -> float) -> unit
+(** Raises [Invalid_argument] on a duplicate name. *)
+
+val counter :
+  t -> name:string -> ?unit_:string -> ?help:string -> (unit -> float) -> unit
+
+val gauge :
+  t -> name:string -> ?unit_:string -> ?help:string -> (unit -> float) -> unit
+
+val derived :
+  t -> name:string -> ?unit_:string -> ?help:string -> (unit -> float) -> unit
+
+val find : t -> string -> metric option
+val names : t -> string list
+(** Registration order. *)
+
+val size : t -> int
+
+val read_all : t -> (metric * float) list
+(** Read every metric once, registration order. *)
+
+val table : t -> string
+(** Rendered {!Metrics.Table}: name | kind | value | unit | help. *)
+
+val attach :
+  t -> ?filter:(metric -> bool) -> Sim.Sampler.t -> int
+(** Add every metric passing [filter] (default: all) as a sampler
+    source; returns how many were attached. Call before
+    {!Sim.Sampler.start}. *)

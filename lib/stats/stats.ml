@@ -1,0 +1,12 @@
+(** Facade: live allocator/RCU introspection and the bench regression
+    pipeline.
+
+    - {!Registry}: typed counter/gauge/derived metric registry
+    - {!Providers}: buddyinfo/slabinfo/rcu/latent snapshot providers
+    - {!Live}: workload-driving runs for the [stat] CLI subcommand
+    - {!Bench_json}: [BENCH_seed.json] schema + baseline comparison *)
+
+module Registry = Registry
+module Providers = Providers
+module Live = Live
+module Bench_json = Bench_json

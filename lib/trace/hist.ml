@@ -84,6 +84,9 @@ let percentile t p =
     min t.max_v (max t.min_v !result)
   end
 
+let percentile_opt t p = if t.count = 0 then None else Some (percentile t p)
+let mean_opt t = if t.count = 0 then None else Some (mean t)
+
 let fold t f acc =
   let acc = ref acc in
   for i = 0 to nbuckets - 1 do

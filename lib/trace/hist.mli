@@ -22,6 +22,14 @@ val percentile : t -> float -> int
     containing the [p]-th percentile sample; within 1/16 relative error of
     the true value. 0 if the histogram is empty. *)
 
+val percentile_opt : t -> float -> int option
+(** Like {!percentile} but [None] on an empty histogram, so callers can
+    distinguish "no samples" from a genuine 0 ns percentile instead of
+    dividing into a default. *)
+
+val mean_opt : t -> float option
+(** [None] on an empty histogram; {!mean} returns [0.] there. *)
+
 val fold :
   t -> ('a -> low:int -> high:int -> count:int -> 'a) -> 'a -> 'a
 (** Fold over non-empty buckets in increasing value order; each bucket

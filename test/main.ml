@@ -26,6 +26,7 @@ let () =
       ("faults", Test_faults.suite);
       ("chaos", Test_chaos.suite);
       ("metrics", Test_metrics.suite);
+      ("stats", Test_stats.suite);
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);
       ("experiments", Test_experiments.suite);

@@ -55,6 +55,31 @@ let test_hist_empty () =
   Alcotest.(check int) "p50 of empty" 0 (Trace.Hist.percentile h 50.);
   Alcotest.(check int) "count" 0 (Trace.Hist.count h)
 
+(* The _opt variants make "no samples" unambiguous: plain [percentile]
+   returns 0 on an empty histogram, indistinguishable from a real 0. *)
+let test_hist_opt_queries () =
+  let h = Trace.Hist.create () in
+  Alcotest.(check (option int)) "p50 of empty" None
+    (Trace.Hist.percentile_opt h 50.);
+  Alcotest.(check (option int)) "p99.9 of empty" None
+    (Trace.Hist.percentile_opt h 99.9);
+  Alcotest.(check (option (float 0.0))) "mean of empty" None
+    (Trace.Hist.mean_opt h);
+  (* A single sample lands in one bucket: every percentile answers. *)
+  Trace.Hist.record h 17;
+  Alcotest.(check (option int)) "p0 single" (Some 17)
+    (Trace.Hist.percentile_opt h 0.);
+  Alcotest.(check (option int)) "p50 single" (Some 17)
+    (Trace.Hist.percentile_opt h 50.);
+  Alcotest.(check (option int)) "p100 single" (Some 17)
+    (Trace.Hist.percentile_opt h 100.);
+  Alcotest.(check (option (float 0.0))) "mean single" (Some 17.)
+    (Trace.Hist.mean_opt h);
+  (* Agreement with the non-optional query when samples exist. *)
+  Alcotest.(check (option int)) "matches percentile"
+    (Some (Trace.Hist.percentile h 50.))
+    (Trace.Hist.percentile_opt h 50.)
+
 (* One sample: every percentile must round-trip to within the bucket's
    1/16 relative width. *)
 let prop_hist_roundtrip =
@@ -240,7 +265,15 @@ let test_histview_render () =
   Alcotest.(check bool) "has summary" true (contains ~sub:"5 samples" s);
   Alcotest.(check bool) "has bars" true (contains ~sub:"|#" s);
   Alcotest.(check string) "empty hist" "e: (no samples)\n"
-    (Metrics.Histview.render ~title:"e" (Trace.Hist.create ()))
+    (Metrics.Histview.render ~title:"e" (Trace.Hist.create ()));
+  (* One bucket: the percentile lines must render without arithmetic on
+     absent neighbours. *)
+  let one = Trace.Hist.create () in
+  Trace.Hist.record one 42;
+  let s1 = Metrics.Histview.render ~title:"one" one in
+  Alcotest.(check bool) "single bucket summary" true
+    (contains ~sub:"1 samples" s1);
+  Alcotest.(check bool) "single bucket p50" true (contains ~sub:"p50" s1)
 
 let suite =
   [
@@ -253,6 +286,8 @@ let suite =
       test_ring_invalid_capacity;
     Alcotest.test_case "hist: exact below 32" `Quick test_hist_exact_below_32;
     Alcotest.test_case "hist: empty" `Quick test_hist_empty;
+    Alcotest.test_case "hist: _opt on empty and single bucket" `Quick
+      test_hist_opt_queries;
     QCheck_alcotest.to_alcotest prop_hist_roundtrip;
     QCheck_alcotest.to_alcotest prop_hist_percentile_monotonic;
     QCheck_alcotest.to_alcotest prop_hist_mean_bounded;
