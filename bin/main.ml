@@ -275,6 +275,41 @@ let run_regress baseline_file current_file tolerance json =
         1
       end
 
+let run_perf names out p =
+  let module Wc = Wallclock in
+  let names = if names = [] then [ "all" ] else names in
+  let scenarios =
+    if names = [ "all" ] then Wc.all_scenarios
+    else
+      List.map
+        (fun name ->
+          match Wc.scenario_of_string name with
+          | Some s -> s
+          | None ->
+              Format.eprintf "unknown perf scenario %S; scenarios: %s, all@."
+                name
+                (String.concat ", "
+                   (List.map Wc.scenario_name Wc.all_scenarios));
+              exit 2)
+        names
+  in
+  let wp =
+    {
+      Wc.scale = p.Core.Experiments.scale;
+      seed = p.Core.Experiments.seed;
+      cpus = p.Core.Experiments.cpus;
+      runs = p.Core.Experiments.runs;
+    }
+  in
+  let ms = Wc.run_all ~scenarios wp in
+  Format.printf "%s@." (Wc.table ms);
+  Core.Stats.Bench_json.write_file out (Wc.to_bench wp ms);
+  Format.printf
+    "wrote %s (deterministic counters gate via `regress --tolerance-pct 0`; \
+     wall timings are info-only)@."
+    out;
+  0
+
 let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
     skip_diff json seed cpus =
   let module Sweep = Core.Check.Sweep in
@@ -616,6 +651,31 @@ let stat_cmd =
       $ series $ format $ registry_table $ pages $ scale_arg $ seed_arg
       $ cpus_arg)
 
+let perf_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenarios (endurance, fig3, chaos-clean) or 'all' (default).")
+  in
+  let out =
+    let doc = "Output file for the wall-clock benchmark JSON." in
+    Arg.(
+      value
+      & opt string "BENCH_wallclock.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Wall-clock throughput benchmark: time pinned scenarios (fig3, \
+          chaos clean, endurance) under both allocators and report \
+          events/sec, sim-ns per wall-ms and words per update; writes \
+          BENCH_wallclock.json whose deterministic counters (events, \
+          updates, allocation counts, grace periods) gate in CI while \
+          wall timings stay informational")
+    Term.(const run_perf $ names $ out $ params_term)
+
 let regress_cmd =
   let baseline =
     let doc = "Committed baseline BENCH_seed.json." in
@@ -657,6 +717,9 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
-    [ list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd; stat_cmd; regress_cmd ]
+    [
+      list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd; stat_cmd; perf_cmd;
+      regress_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

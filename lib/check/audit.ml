@@ -63,7 +63,7 @@ let slab ~rcu (cache : Slab.Frame.cache) =
             in_flight_sum := !in_flight_sum + s.in_flight;
             slab_latent_sum := !slab_latent_sum + s.latent_n;
             let free_rc = List.length s.free_objs
-            and latent_rc = List.length s.latent_objs in
+            and latent_rc = Slab.Latq.length s.latent_objs in
             if free_rc <> s.free_n then
               err errs "%s: slab %d freelist holds %d objects but free_n = %d"
                 name s.sid free_rc s.free_n;
@@ -87,7 +87,7 @@ let slab ~rcu (cache : Slab.Frame.cache) =
                   err errs "%s: object %d on slab %d's freelist is in state %a"
                     name o.oid s.sid pp_ostate o.ostate)
               s.free_objs;
-            List.iter
+            Slab.Latq.iter
               (fun (o : objekt) ->
                 if o.ostate <> In_latent_slab then
                   err errs "%s: object %d on slab %d's latent list is in state %a"
@@ -111,14 +111,14 @@ let slab ~rcu (cache : Slab.Frame.cache) =
         err errs "%s: cpu%d object cache holds %d objects but ocache_n = %d" name
           pc.cpu.Sim.Machine.id rc pc.ocache_n;
       ocache_sum := !ocache_sum + pc.ocache_n;
-      latent_cache_sum := !latent_cache_sum + Sim.Deque.length pc.latent;
+      latent_cache_sum := !latent_cache_sum + Slab.Latq.Fifo.length pc.latent;
       List.iter
         (fun (o : objekt) ->
           if o.ostate <> In_object_cache then
             err errs "%s: object %d in cpu%d's object cache is in state %a" name
               o.oid pc.cpu.Sim.Machine.id pp_ostate o.ostate)
         pc.ocache;
-      Sim.Deque.iter
+      Slab.Latq.Fifo.iter
         (fun (o : objekt) ->
           if o.ostate <> In_latent_cache then
             err errs "%s: object %d in cpu%d's latent cache is in state %a" name
@@ -185,14 +185,14 @@ let latent ~rcu (cache : Slab.Frame.cache) =
   in
   Array.iter
     (fun (pc : pcpu) ->
-      Sim.Deque.iter (check_cookie "a latent cache") pc.latent)
+      Slab.Latq.Fifo.iter (check_cookie "a latent cache") pc.latent)
     cache.pcpus;
   Array.iter
     (fun (node : node) ->
       let walk lst =
         Sim.Dlist.iter
           (fun (s : slab) ->
-            List.iter (check_cookie "a latent slab") s.latent_objs)
+            Slab.Latq.iter (check_cookie "a latent slab") s.latent_objs)
           lst
       in
       walk node.full;

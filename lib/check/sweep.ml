@@ -106,6 +106,9 @@ let run_case cfg case =
           unsafe_skip_gp = (cfg.mutation = Skip_gp);
         };
       track_readers = true;
+      (* The sweep is a verification pass: force the frame's invariant
+         sweeps on regardless of the ambient default. *)
+      debug_checks = true;
     }
   in
   let env = W.Env.build env_cfg in

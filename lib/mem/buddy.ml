@@ -2,12 +2,44 @@ type block = { page : int; order : int }
 
 exception Out_of_memory
 
+(* Resizable LIFO of candidate start-pages, one per order. Entries are
+   pushed on every insertion into the free table and never removed except
+   by [pop]; pages the coalescer has since consumed are left behind as
+   stale entries and skipped lazily at pop time (each removal creates at
+   most one stale entry, so the debt is bounded by the removal count). *)
+module Pstack = struct
+  type s = { mutable a : int array; mutable n : int }
+
+  let make () = { a = Array.make 16 0; n = 0 }
+
+  let push s x =
+    if s.n = Array.length s.a then begin
+      let b = Array.make (2 * s.n) 0 in
+      Array.blit s.a 0 b 0 s.n;
+      s.a <- b
+    end;
+    s.a.(s.n) <- x;
+    s.n <- s.n + 1
+
+  (* -1 when empty (start-pages are non-negative). *)
+  let pop s =
+    if s.n = 0 then -1
+    else begin
+      s.n <- s.n - 1;
+      s.a.(s.n)
+    end
+end
+
 type t = {
   page_size : int;
   total_pages : int;
   max_order : int;
   (* free.(o) maps start-page -> unit for each free block of order o *)
   free : (int, unit) Hashtbl.t array;
+  (* Per-order pick stacks over [free]: O(1) victim selection instead of
+     iterating a hash table. May hold stale pages; [free] is
+     authoritative. *)
+  stacks : Pstack.s array;
   (* allocated start-page -> order, to validate frees *)
   allocated : (int, int) Hashtbl.t;
   mutable used : int;
@@ -30,6 +62,7 @@ let create ?(page_size = 4096) ?(max_order = 10) ~total_pages () =
       total_pages;
       max_order;
       free = Array.init (max_order + 1) (fun _ -> Hashtbl.create 64);
+      stacks = Array.init (max_order + 1) (fun _ -> Pstack.make ());
       allocated = Hashtbl.create 256;
       used = 0;
       peak_used = 0;
@@ -53,9 +86,16 @@ let create ?(page_size = 4096) ?(max_order = 10) ~total_pages () =
       decr order
     done;
     Hashtbl.replace t.free.(!order) !page ();
+    Pstack.push t.stacks.(!order) !page;
     page := !page + (1 lsl !order)
   done;
   t
+
+(* Every insertion into [free] goes through here so the pick stack stays a
+   superset of the table. *)
+let insert_free t order page =
+  Hashtbl.replace t.free.(order) page ();
+  Pstack.push t.stacks.(order) page
 
 let page_size t = t.page_size
 let max_order t = t.max_order
@@ -94,20 +134,19 @@ let largest_free_order t =
   let rec scan o = if o < 0 then -1 else if Hashtbl.length t.free.(o) > 0 then o else scan (o - 1) in
   scan t.max_order
 
-let take_any tbl =
-  let found = ref None in
-  (try
-     Hashtbl.iter
-       (fun k () ->
-         found := Some k;
-         raise Exit)
-       tbl
-   with Exit -> ());
-  match !found with
-  | None -> None
-  | Some k ->
-      Hashtbl.remove tbl k;
-      Some k
+let take_any t o =
+  let tbl = t.free.(o) in
+  let st = t.stacks.(o) in
+  let rec go () =
+    let page = Pstack.pop st in
+    if page < 0 then None
+    else if Hashtbl.mem tbl page then begin
+      Hashtbl.remove tbl page;
+      Some page
+    end
+    else go ()
+  in
+  go ()
 
 let alloc t ~order =
   if order < 0 || order > t.max_order then
@@ -121,7 +160,7 @@ let alloc t ~order =
   let rec find o =
     if o > t.max_order then None
     else
-      match take_any t.free.(o) with
+      match take_any t o with
       | Some page -> Some (page, o)
       | None -> find (o + 1)
   in
@@ -134,7 +173,7 @@ let alloc t ~order =
       let o = ref found_order in
       while !o > order do
         decr o;
-        Hashtbl.replace t.free.(!o) (page + (1 lsl !o)) ()
+        insert_free t !o (page + (1 lsl !o))
       done;
       Hashtbl.replace t.allocated page order;
       t.used <- t.used + (1 lsl order);
@@ -159,7 +198,7 @@ let free t { page; order } =
   t.frees <- t.frees + 1;
   (* Coalesce with the buddy while it is free. *)
   let rec coalesce page order =
-    if order >= t.max_order then Hashtbl.replace t.free.(order) page ()
+    if order >= t.max_order then insert_free t order page
     else begin
       let buddy = page lxor (1 lsl order) in
       if buddy + (1 lsl order) <= t.total_pages && Hashtbl.mem t.free.(order) buddy
@@ -167,7 +206,7 @@ let free t { page; order } =
         Hashtbl.remove t.free.(order) buddy;
         coalesce (min page buddy) (order + 1)
       end
-      else Hashtbl.replace t.free.(order) page ()
+      else insert_free t order page
     end
   in
   coalesce page order

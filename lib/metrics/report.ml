@@ -1,14 +1,16 @@
-type direction = Lower_better | Higher_better | Info
+type direction = Lower_better | Higher_better | Info | Exact
 
 let direction_name = function
   | Lower_better -> "lower_better"
   | Higher_better -> "higher_better"
   | Info -> "info"
+  | Exact -> "exact"
 
 let direction_of_string = function
   | "lower_better" -> Some Lower_better
   | "higher_better" -> Some Higher_better
   | "info" -> Some Info
+  | "exact" -> Some Exact
   | _ -> None
 
 type metric = {

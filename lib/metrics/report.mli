@@ -10,9 +10,14 @@ type direction =
   | Lower_better  (** Regression = value drifted up past tolerance. *)
   | Higher_better  (** Regression = value drifted down past tolerance. *)
   | Info  (** Tracked and reported, never a regression by itself. *)
+  | Exact
+      (** Regression = any drift past tolerance in either direction. With
+          tolerance 0 this demands byte-identical values — the gate for
+          deterministic counters (event counts, allocation counts) that
+          must not move at all. *)
 
 val direction_name : direction -> string
-(** "lower_better" / "higher_better" / "info". *)
+(** "lower_better" / "higher_better" / "info" / "exact". *)
 
 val direction_of_string : string -> direction option
 

@@ -1,4 +1,5 @@
 module Frame = Slab.Frame
+module Latq = Slab.Latq
 module Costs = Slab.Costs
 module Stats = Slab.Slab_stats
 
@@ -29,7 +30,11 @@ type t = {
   env : Frame.env;
   rcu : Rcu.t;
   cfg : config;
-  mutable caches : (string * Frame.cache) list;
+  by_name : (string, Frame.cache) Hashtbl.t;
+      (* O(1) name lookup on the cache-creation path. *)
+  mutable caches : Frame.cache list;
+      (* Newest first (insertion order), the iteration order the old
+         assoc list gave. *)
 }
 
 let env t = t.env
@@ -43,7 +48,7 @@ let completed t = if t.cfg.unsafe_skip_gp then max_int else Rcu.completed t.rcu
 let charge (cpu : Sim.Machine.cpu) ns = Sim.Machine.consume cpu ns
 
 let latent_outstanding t =
-  List.fold_left (fun acc (_, c) -> acc + Frame.latent_total c) 0 t.caches
+  List.fold_left (fun acc c -> acc + Frame.latent_total c) 0 t.caches
 
 (* Harvest ripe latent objects from the slabs the selector is about to
    examine, so their free counts reflect completed grace periods. *)
@@ -67,24 +72,21 @@ let select t cache node =
    from the latent cache into the object cache, stopping at capacity. *)
 let merge_caches t (cache : Frame.cache) (pc : Frame.pcpu) =
   let horizon = completed t in
-  let moved = ref 0 in
-  let continue = ref true in
-  while !continue && pc.Frame.ocache_n < cache.Frame.ocache_cap do
-    match Frame.latent_cache_pop_ripe cache pc ~completed:horizon with
-    | Some obj ->
-        Frame.push_ocache cache pc obj;
-        incr moved
-    | None -> continue := false
-  done;
-  if !moved > 0 then begin
-    Stats.merge cache.Frame.stats ~n:!moved;
-    Frame.trace_event cache pc.Frame.cpu ~arg:!moved
-      Trace.Event.Latent_merge;
+  let limit = cache.Frame.ocache_cap - pc.Frame.ocache_n in
+  let moved =
+    if limit <= 0 then 0
+    else
+      Frame.latent_cache_merge_ripe cache pc ~completed:horizon ~limit
+        ~f:(fun obj -> Frame.push_ocache cache pc obj)
+  in
+  if moved > 0 then begin
+    Stats.merge cache.Frame.stats ~n:moved;
+    Frame.trace_event cache pc.Frame.cpu ~arg:moved Trace.Event.Latent_merge;
     charge pc.Frame.cpu
       (t.env.Frame.costs.Costs.merge
-      + (!moved * t.env.Frame.costs.Costs.merge_per_obj))
+      + (moved * t.env.Frame.costs.Costs.merge_per_obj))
   end;
-  !moved
+  moved
 
 (* Move one latent-cache object to its slab's latent list, pre-moving the
    slab if its future state changed (Algorithm 1 l.49-51). Returns the cost
@@ -126,7 +128,7 @@ let emergency_reclaim t =
   let horizon = completed t in
   let total = ref 0 in
   List.iter
-    (fun (_, (cache : Frame.cache)) ->
+    (fun (cache : Frame.cache) ->
       Array.iter
         (fun (pc : Frame.pcpu) ->
           let rec drain () =
@@ -178,7 +180,7 @@ let attach_pressure t pressure =
 let rec preflush_pass t (cache : Frame.cache) (pc : Frame.pcpu) =
   Frame.set_preflush_scheduled pc false;
   let excess () =
-    pc.Frame.ocache_n + Sim.Deque.length pc.Frame.latent
+    pc.Frame.ocache_n + Latq.Fifo.length pc.Frame.latent
     - cache.Frame.ocache_cap
   in
   (* Merge ripe latent objects proactively while idle — §4.2: doing it here
@@ -240,13 +242,14 @@ let rec alloc_inner t ~may_wait (cache : Frame.cache) cpu =
   Stats.alloc cache.Frame.stats;
   Frame.note_alloc pc;
   charge cpu costs.Costs.hit;
-  match Frame.pop_ocache pc with
-  | Some obj ->
-      Stats.hit cache.Frame.stats;
-      Frame.trace_event cache cpu Trace.Event.Alloc_hit;
-      Frame.hand_to_user cache cpu obj;
-      Some obj
-  | None -> alloc_slow t ~may_wait cache cpu pc
+  if pc.Frame.ocache_n > 0 then begin
+    let obj = Frame.pop_ocache_exn pc in
+    Stats.hit cache.Frame.stats;
+    Frame.trace_event cache cpu Trace.Event.Alloc_hit;
+    Frame.hand_to_user cache cpu obj;
+    Some obj
+  end
+  else alloc_slow t ~may_wait cache cpu pc
 
 and alloc_slow t ~may_wait (cache : Frame.cache) cpu (pc : Frame.pcpu) =
   (* l.8-11: merge ripe latent objects and retry. A request satisfied
@@ -269,13 +272,9 @@ and alloc_slow t ~may_wait (cache : Frame.cache) cpu (pc : Frame.pcpu) =
          grace period, by which time the cache has drained again), which
          keeps refills batched under a full latent cache. *)
       let horizon = completed t in
-      let ripe = ref 0 in
-      Sim.Deque.iter
-        (fun (o : Frame.objekt) ->
-          if o.Frame.gp_cookie <= horizon then incr ripe)
-        pc.Frame.latent;
+      let ripe = Latq.Fifo.ripe_count pc.Frame.latent ~completed:horizon in
       let want =
-        max 1 (min cache.Frame.batch (cache.Frame.ocache_cap - !ripe))
+        max 1 (min cache.Frame.batch (cache.Frame.ocache_cap - ripe))
       in
       let got =
         Frame.refill_from_node cache cpu ~want ~select:(select t cache)
@@ -352,11 +351,11 @@ let free_deferred t (cache : Frame.cache) cpu obj =
   Frame.note_release pc;
   (* l.35: capture the grace-period state. *)
   let cookie = Rcu.snapshot t.rcu in
-  Frame.trace_event cache cpu ~arg:cookie Trace.Event.Defer_free;
+  Frame.trace_event_arg cache cpu ~arg:cookie Trace.Event.Defer_free;
   Frame.stamp_deferred cache obj ~cookie;
   Rcu.request_gp t.rcu;
   charge cpu costs.Costs.defer_enqueue;
-  let latent_n = Sim.Deque.length pc.Frame.latent in
+  let latent_n = Latq.Fifo.length pc.Frame.latent in
   if latent_n < cache.Frame.latent_cap then begin
     (* l.39-44: fast path. The idle pass is armed whenever latent objects
        exist: it pre-flushes if an overflow is foreseen and pre-merges
@@ -372,7 +371,7 @@ let free_deferred t (cache : Frame.cache) cpu obj =
       Frame.flush_to_node cache cpu
         ~count:(pc.Frame.ocache_n - (cache.Frame.ocache_cap / 2));
     ignore (merge_caches t cache pc);
-    if Sim.Deque.length pc.Frame.latent < cache.Frame.latent_cap then begin
+    if Latq.Fifo.length pc.Frame.latent < cache.Frame.latent_cap then begin
       Frame.obj_to_latent_cache cache pc obj;
       charge cpu costs.Costs.latent_put
     end
@@ -394,13 +393,13 @@ let free t (cache : Frame.cache) cpu obj =
   charge cpu costs.Costs.free_to_cache;
   Frame.push_ocache cache pc obj;
   if pc.Frame.ocache_n > cache.Frame.ocache_cap then begin
-    let latent_n = Sim.Deque.length pc.Frame.latent in
+    let latent_n = Latq.Fifo.length pc.Frame.latent in
     let keep = max 0 ((cache.Frame.ocache_cap / 2) - latent_n) in
     Frame.flush_to_node cache cpu ~count:(pc.Frame.ocache_n - keep)
   end
 
 let create_cache t ~name ~obj_size =
-  match List.assoc_opt name t.caches with
+  match Hashtbl.find_opt t.by_name name with
   | Some c -> c
   | None ->
       let c =
@@ -424,7 +423,8 @@ let create_cache t ~name ~obj_size =
           demand_objs
           / (c.Frame.objs_per_slab
             * Array.length c.Frame.nodes));
-      t.caches <- (name, c) :: t.caches;
+      Hashtbl.replace t.by_name name c;
+      t.caches <- c :: t.caches;
       c
 
 (* Recycle every outstanding deferred object; requires process context. *)
@@ -435,7 +435,7 @@ let settle t =
       Rcu.synchronize t.rcu;
       let horizon = completed t in
       List.iter
-        (fun (_, cache) ->
+        (fun cache ->
           Array.iter
             (fun (pc : Frame.pcpu) ->
               (* Everything ripe now: push latent-cache objects down to
@@ -475,15 +475,14 @@ let backend t =
     free = (fun cache cpu obj -> free t cache cpu obj);
     free_deferred = (fun cache cpu obj -> free_deferred t cache cpu obj);
     settle = (fun () -> settle t);
-    iter_caches = (fun f -> List.iter (fun (_, c) -> f c) t.caches);
+    iter_caches = (fun f -> List.iter f t.caches);
   }
 
 let create ?(config = default_config) env rcu =
-  let t = { env; rcu; cfg = config; caches = [] } in
+  let t = { env; rcu; cfg = config; by_name = Hashtbl.create 8; caches = [] } in
   Rcu.on_gp_complete rcu (fun _completed ->
       List.iter
-        (fun (_, cache) ->
-          Array.iter Frame.decay_rates cache.Frame.pcpus)
+        (fun cache -> Array.iter Frame.decay_rates cache.Frame.pcpus)
         t.caches;
       (* Keep grace periods running while deferred objects wait on them. *)
       if latent_outstanding t > 0 then Rcu.request_gp rcu);

@@ -1,44 +1,75 @@
-type entry = { cookie : int; fn : unit -> unit }
+(* Intrusive singly-linked segments: one cell allocated per callback at
+   enqueue time, then only pointer surgery — [advance] relinks cells from
+   the waiting segment to the done segment, and [drain] pops and invokes
+   without ever materialising an intermediate list. Both segment lengths
+   are maintained counters, so the invoker learns its batch size without
+   a [List.length] walk. *)
+
+type cell = { cookie : int; fn : unit -> unit; mutable next : cell }
+
+(* Self-referential terminator: [c.next == nil] marks the tail. *)
+let rec nil = { cookie = min_int; fn = (fun () -> ()); next = nil }
 
 type t = {
-  wait : entry Queue.t;
-  done_ : (unit -> unit) Queue.t;
+  mutable wait_head : cell;
+  mutable wait_tail : cell;
+  mutable wait_n : int;
+  mutable done_head : cell;
+  mutable done_tail : cell;
+  mutable done_n : int;
   mutable last_cookie : int;
 }
 
-let create () = { wait = Queue.create (); done_ = Queue.create (); last_cookie = min_int }
+let create () =
+  {
+    wait_head = nil;
+    wait_tail = nil;
+    wait_n = 0;
+    done_head = nil;
+    done_tail = nil;
+    done_n = 0;
+    last_cookie = min_int;
+  }
 
 let enqueue t ~cookie fn =
   assert (cookie >= t.last_cookie);
   t.last_cookie <- cookie;
-  Queue.push { cookie; fn } t.wait
+  let c = { cookie; fn; next = nil } in
+  if t.wait_n = 0 then t.wait_head <- c else t.wait_tail.next <- c;
+  t.wait_tail <- c;
+  t.wait_n <- t.wait_n + 1
 
 let advance t ~completed =
   let moved = ref 0 in
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt t.wait with
-    | Some e when e.cookie <= completed ->
-        ignore (Queue.pop t.wait);
-        Queue.push e.fn t.done_;
-        incr moved
-    | _ -> continue := false
+  while t.wait_n > 0 && t.wait_head.cookie <= completed do
+    let c = t.wait_head in
+    t.wait_head <- c.next;
+    t.wait_n <- t.wait_n - 1;
+    if t.wait_n = 0 then t.wait_tail <- nil;
+    c.next <- nil;
+    if t.done_n = 0 then t.done_head <- c else t.done_tail.next <- c;
+    t.done_tail <- c;
+    t.done_n <- t.done_n + 1;
+    incr moved
   done;
   !moved
 
-let take_done t ~max =
-  let rec take n acc =
-    if n = 0 then List.rev acc
-    else
-      match Queue.take_opt t.done_ with
-      | None -> List.rev acc
-      | Some fn -> take (n - 1) (fn :: acc)
-  in
-  take max []
+let drain t ~max ~f =
+  (* Fix the batch upfront: callbacks that become ready while the batch
+     runs wait for the next pass, exactly as when batches were removed
+     wholesale before invocation. *)
+  let n = if max < t.done_n then max else t.done_n in
+  for _ = 1 to n do
+    let c = t.done_head in
+    t.done_head <- c.next;
+    t.done_n <- t.done_n - 1;
+    if t.done_n = 0 then t.done_tail <- nil;
+    f c.fn
+  done;
+  n
 
-let waiting t = Queue.length t.wait
-let ready t = Queue.length t.done_
-let total t = waiting t + ready t
+let waiting t = t.wait_n
+let ready t = t.done_n
+let total t = t.wait_n + t.done_n
 
-let next_cookie t =
-  match Queue.peek_opt t.wait with None -> None | Some e -> Some e.cookie
+let next_cookie t = if t.wait_n = 0 then None else Some t.wait_head.cookie

@@ -19,9 +19,13 @@ val advance : t -> completed:int -> int
 (** [advance cbl ~completed] moves every waiting callback whose cookie is
     [<= completed] to the done segment; returns how many moved. *)
 
-val take_done : t -> max:int -> (unit -> unit) list
-(** [take_done cbl ~max] removes and returns up to [max] invocable
-    callbacks, oldest first. *)
+val drain : t -> max:int -> f:((unit -> unit) -> unit) -> int
+(** [drain cbl ~max ~f] removes up to [max] invocable callbacks, oldest
+    first, applying [f] to each; returns how many were drained (the count
+    the list already maintains — no [List.length] walk, no intermediate
+    list). The batch size is fixed before the first invocation:
+    callbacks advanced to the done segment by [f]'s side effects are not
+    drained until the next pass. *)
 
 val waiting : t -> int
 (** Callbacks still waiting for their grace period. *)

@@ -128,8 +128,7 @@ let rec raise_softirq t (pc : pcpu) =
 and softirq_pass t (pc : pcpu) =
   pc.softirq_scheduled <- false;
   t.s_softirq_passes <- t.s_softirq_passes + 1;
-  let fns = Cblist.take_done pc.cbs ~max:(batch_size t pc) in
-  let n = List.length fns in
+  let n = min (batch_size t pc) (Cblist.ready pc.cbs) in
   if n > 0 then begin
     Sim.Machine.consume pc.cpu (n * t.cfg.invoke_cost_ns);
     t.pending <- t.pending - n;
@@ -138,7 +137,8 @@ and softirq_pass t (pc : pcpu) =
     if Trace.enabled tr then
       Trace.emit tr ~time:(now t) ~cpu:pc.cpu.Sim.Machine.id ~arg:n
         Trace.Event.Cb_invoke;
-    List.iter (fun fn -> fn ()) fns
+    let drained = Cblist.drain pc.cbs ~max:n ~f:(fun fn -> fn ()) in
+    assert (drained = n)
   end;
   if Cblist.ready pc.cbs > 0 then raise_softirq t pc
 
@@ -243,11 +243,10 @@ let barrier_drain t =
   Array.iter
     (fun pc ->
       ignore (Cblist.advance pc.cbs ~completed:t.completed_gps);
-      let fns = Cblist.take_done pc.cbs ~max:max_int in
-      let n = List.length fns in
+      let n = Cblist.ready pc.cbs in
       t.pending <- t.pending - n;
       t.s_cbs_invoked <- t.s_cbs_invoked + n;
-      List.iter (fun fn -> fn ()) fns)
+      ignore (Cblist.drain pc.cbs ~max:n ~f:(fun fn -> fn ())))
     t.percpu
 
 let attach_pressure t pressure =
@@ -268,11 +267,10 @@ let attach_pressure t pressure =
       Array.iter
         (fun pc ->
           ignore (Cblist.advance pc.cbs ~completed:t.completed_gps);
-          let fns = Cblist.take_done pc.cbs ~max:(4 * t.cfg.expedited_blimit) in
-          let n = List.length fns in
+          let n = min (4 * t.cfg.expedited_blimit) (Cblist.ready pc.cbs) in
           t.pending <- t.pending - n;
           t.s_cbs_invoked <- t.s_cbs_invoked + n;
-          List.iter (fun fn -> fn ()) fns)
+          ignore (Cblist.drain pc.cbs ~max:n ~f:(fun fn -> fn ())))
         t.percpu;
       t.s_cbs_invoked > invoked_before)
 

@@ -73,6 +73,20 @@ let first_n l n =
   in
   go [] n l.head
 
+let find_first ?depth p l =
+  let rec go k = function
+    | Some n when k > 0 -> if p n.v then Some n.v else go (k - 1) n.next
+    | _ -> None
+  in
+  go (match depth with Some d -> d | None -> max_int) l.head
+
+let fold_first_n l n f acc =
+  let rec go acc k = function
+    | Some node when k > 0 -> go (f acc node.v) (k - 1) node.next
+    | _ -> acc
+  in
+  go acc n l.head
+
 let exists p l =
   let rec go = function
     | None -> false

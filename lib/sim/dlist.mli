@@ -32,5 +32,15 @@ val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val first_n : 'a t -> int -> 'a list
 (** Up to [n] elements from the front, front first. *)
 
+val find_first : ?depth:int -> ('a -> bool) -> 'a t -> 'a option
+(** First element from the front satisfying the predicate, scanning at
+    most [depth] elements (unbounded by default). Unlike
+    [find_opt ... (first_n ...)], allocates nothing — this sits on the
+    slab selectors' refill path. *)
+
+val fold_first_n : 'a t -> int -> ('acc -> 'a -> 'acc) -> 'acc -> 'acc
+(** Fold over up to [n] elements from the front without materialising an
+    intermediate list. *)
+
 val exists : ('a -> bool) -> 'a t -> bool
 val to_list : 'a t -> 'a list

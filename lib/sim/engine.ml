@@ -1,35 +1,43 @@
 type tiebreak = Fifo | Shuffle of int
 
+type state = Queued | Cancelled | Done
+
 type event = {
   time : int;
   seq : int;
   tie : int;
   fn : unit -> unit;
   daemon : bool;
-  mutable cancelled : bool;
+  mutable state : state;
+  owner : t;
 }
 
-type handle = event
-
-type t = {
+and t = {
   mutable now : int;
-  mutable seq : int;
+  mutable next_seq : int;
   mutable running : bool;
   mutable stop_requested : bool;
   mutable executed : int;
   mutable busy : int; (* queued non-daemon events *)
   mutable waiters : int; (* suspended processes (condition waits) *)
+  mutable cancelled_pending : int; (* tombstones still in the queue *)
+  mutable compactions : int;
   tiebreak : tiebreak;
   queue : event Heap.t;
   rng : Rng.t;
 }
 
+type handle = event
+
+(* The hottest comparison in the simulator: every heap sift goes through
+   here. Monomorphic int tests compile to straight-line machine code;
+   the polymorphic [compare] they replace was a C call per field. *)
 let compare_events a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c
-  else
-    let c = compare a.tie b.tie in
-    if c <> 0 then c else compare a.seq b.seq
+  if a.time <> b.time then if a.time < b.time then -1 else 1
+  else if a.tie <> b.tie then if a.tie < b.tie then -1 else 1
+  else if a.seq < b.seq then -1
+  else if a.seq > b.seq then 1
+  else 0
 
 (* splitmix64 finalizer: good avalanche, so (seed, time, seq) triples map to
    effectively independent tie keys. *)
@@ -60,12 +68,14 @@ let tie_for policy ~time ~seq =
 let create ?(seed = 42) ?(tiebreak = Fifo) () =
   {
     now = 0;
-    seq = 0;
+    next_seq = 0;
     running = false;
     stop_requested = false;
     executed = 0;
     busy = 0;
     waiters = 0;
+    cancelled_pending = 0;
+    compactions = 0;
     tiebreak;
     queue = Heap.create ~cmp:compare_events ();
     rng = Rng.create ~seed;
@@ -80,9 +90,11 @@ let schedule_at ?(daemon = false) t ~time fn =
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
          time t.now);
-  let tie = tie_for t.tiebreak ~time ~seq:t.seq in
-  let ev = { time; seq = t.seq; tie; fn; daemon; cancelled = false } in
-  t.seq <- t.seq + 1;
+  let tie = tie_for t.tiebreak ~time ~seq:t.next_seq in
+  let ev =
+    { time; seq = t.next_seq; tie; fn; daemon; state = Queued; owner = t }
+  in
+  t.next_seq <- t.next_seq + 1;
   if not daemon then t.busy <- t.busy + 1;
   Heap.push t.queue ev;
   ev
@@ -95,49 +107,63 @@ let incr_waiters t = t.waiters <- t.waiters + 1
 let decr_waiters t = t.waiters <- t.waiters - 1
 let busy t = t.busy + t.waiters
 
-let cancel ev = ev.cancelled <- true
+(* A cancelled event stops counting as live work immediately; its record
+   stays in the heap as a tombstone (cancel is O(1), a heap delete is
+   not). When tombstones outnumber live events the queue is compacted in
+   one O(n) pass, so cancel-heavy fault plans cannot grow it without
+   bound. *)
+let compact t =
+  Heap.filter_in_place (fun ev -> ev.state = Queued) t.queue;
+  t.cancelled_pending <- 0;
+  t.compactions <- t.compactions + 1
+
+let cancel ev =
+  if ev.state = Queued then begin
+    let t = ev.owner in
+    ev.state <- Cancelled;
+    if not ev.daemon then t.busy <- t.busy - 1;
+    t.cancelled_pending <- t.cancelled_pending + 1;
+    if
+      t.cancelled_pending >= 32
+      && 2 * t.cancelled_pending > Heap.length t.queue
+    then compact t
+  end
 
 let stop t = t.stop_requested <- true
 let stopped t = t.stop_requested
 
-(* Cancelled events stay in the heap until their time comes (cancel is O(1),
-   a heap delete is not), so count only the live ones. *)
-let pending t =
-  let n = ref 0 in
-  Heap.iter (fun ev -> if not ev.cancelled then incr n) t.queue;
-  !n
-
+let pending t = Heap.length t.queue - t.cancelled_pending
 let executed t = t.executed
+let compactions t = t.compactions
 
 let exec t ev =
   t.now <- ev.time;
-  if not ev.daemon then t.busy <- t.busy - 1;
-  if not ev.cancelled then begin
-    t.executed <- t.executed + 1;
-    ev.fn ()
-  end
+  match ev.state with
+  | Cancelled -> t.cancelled_pending <- t.cancelled_pending - 1
+  | Done -> assert false
+  | Queued ->
+      ev.state <- Done;
+      if not ev.daemon then t.busy <- t.busy - 1;
+      t.executed <- t.executed + 1;
+      ev.fn ()
 
 let step t =
-  if t.stop_requested then false
-  else
-    match Heap.pop t.queue with
-    | None -> false
-    | Some ev ->
-        exec t ev;
-        true
+  if t.stop_requested || Heap.is_empty t.queue then false
+  else begin
+    exec t (Heap.pop_exn t.queue);
+    true
+  end
 
 let run ?until t =
   t.running <- true;
   let horizon = match until with None -> max_int | Some u -> u in
   let rec loop () =
-    if t.stop_requested then ()
-    else
-      match Heap.peek t.queue with
-      | None -> ()
-      | Some ev when ev.time > horizon -> ()
-      | Some _ ->
-          exec t (Heap.pop_exn t.queue);
-          loop ()
+    if t.stop_requested || Heap.is_empty t.queue then ()
+    else if (Heap.peek_exn t.queue).time > horizon then ()
+    else begin
+      exec t (Heap.pop_exn t.queue);
+      loop ()
+    end
   in
   loop ();
   t.running <- false;
@@ -156,13 +182,12 @@ let every t ~period ?phase fn =
 
 let run_until_quiet ?(horizon = max_int) t =
   let rec loop () =
-    if t.stop_requested || t.busy + t.waiters = 0 then ()
-    else
-      match Heap.peek t.queue with
-      | None -> ()
-      | Some ev when ev.time > horizon -> ()
-      | Some _ ->
-          exec t (Heap.pop_exn t.queue);
-          loop ()
+    if t.stop_requested || t.busy + t.waiters = 0 || Heap.is_empty t.queue
+    then ()
+    else if (Heap.peek_exn t.queue).time > horizon then ()
+    else begin
+      exec t (Heap.pop_exn t.queue);
+      loop ()
+    end
   in
   loop ()

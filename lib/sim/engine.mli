@@ -49,7 +49,12 @@ val schedule_at : ?daemon:bool -> t -> time:int -> (unit -> unit) -> handle
 (** [schedule_at t ~time fn] runs [fn] at absolute [time] (>= [now t]). *)
 
 val cancel : handle -> unit
-(** [cancel h] prevents the event from running if it has not run yet. *)
+(** [cancel h] prevents the event from running if it has not run yet. The
+    event immediately stops counting towards {!busy} and {!pending}; its
+    record stays in the queue as a tombstone until its deadline pops it
+    or a compaction sweep drops it (the queue compacts in one O(n) pass
+    whenever tombstones outnumber live events, so cancel-heavy fault
+    plans cannot grow it without bound). *)
 
 val run : ?until:int -> t -> unit
 (** [run ?until t] executes events in time order. Stops when the queue is
@@ -68,11 +73,14 @@ val stopped : t -> bool
 (** Whether [stop] has been called. *)
 
 val pending : t -> int
-(** Number of queued live events. Cancelled handles stay in the queue until
-    their scheduled time but are not counted. O(queued events). *)
+(** Number of queued live events. Cancelled handles may stay in the queue
+    until their scheduled time but are not counted. O(1). *)
 
 val executed : t -> int
 (** Total number of events executed so far (diagnostic). *)
+
+val compactions : t -> int
+(** Number of tombstone-compaction sweeps performed (diagnostic). *)
 
 val run_until_quiet : ?horizon:int -> t -> unit
 (** Run while there is live work: non-daemon events queued or processes

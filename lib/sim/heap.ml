@@ -18,9 +18,12 @@ let grow h x =
     h.data <- data'
   end
 
+(* 4-ary: half the levels of a binary heap, and the four children sit in
+   adjacent slots, so a sift touches fewer cache lines. Pop order is
+   unaffected — any d-ary heap pops elements in [cmp] order. *)
 let rec sift_up h i =
   if i > 0 then begin
-    let parent = (i - 1) / 2 in
+    let parent = (i - 1) / 4 in
     if h.cmp h.data.(i) h.data.(parent) < 0 then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
@@ -30,18 +33,19 @@ let rec sift_up h i =
   end
 
 let rec sift_down h i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < h.size && h.cmp h.data.(left) h.data.(!smallest) < 0 then
-    smallest := left;
-  if right < h.size && h.cmp h.data.(right) h.data.(!smallest) < 0 then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
-    sift_down h !smallest
+  let first = (4 * i) + 1 in
+  if first < h.size then begin
+    let last = min (first + 3) (h.size - 1) in
+    let smallest = ref i in
+    for j = first to last do
+      if h.cmp h.data.(j) h.data.(!smallest) < 0 then smallest := j
+    done;
+    if !smallest <> i then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(!smallest);
+      h.data.(!smallest) <- tmp;
+      sift_down h !smallest
+    end
   end
 
 let push h x =
@@ -52,8 +56,14 @@ let push h x =
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
 
-let pop h =
-  if h.size = 0 then None
+let peek_exn h =
+  if h.size = 0 then invalid_arg "Heap.peek_exn: empty heap"
+  else h.data.(0)
+
+(* The engine pops one event per simulated step; keep this path free of
+   the [Some] box (and build [pop] on top for option-style callers). *)
+let pop_exn h =
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty heap"
   else begin
     let top = h.data.(0) in
     h.size <- h.size - 1;
@@ -63,13 +73,10 @@ let pop h =
     end;
     (* Drop the stale slot so the GC can reclaim the element. *)
     h.data.(h.size) <- top;
-    Some top
+    top
   end
 
-let pop_exn h =
-  match pop h with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+let pop h = if h.size = 0 then None else Some (pop_exn h)
 
 let clear h =
   h.data <- [||];
@@ -78,6 +85,30 @@ let clear h =
 let iter f h =
   for i = 0 to h.size - 1 do
     f h.data.(i)
+  done
+
+let filter_in_place keep h =
+  (* Compact survivors to a prefix, then restore the heap property
+     bottom-up (Floyd): O(n) total, no allocation beyond the swaps. *)
+  let kept = ref 0 in
+  for i = 0 to h.size - 1 do
+    let x = h.data.(i) in
+    if keep x then begin
+      h.data.(!kept) <- x;
+      incr kept
+    end
+  done;
+  (* Clear the tail so the GC can reclaim dropped elements. *)
+  if !kept > 0 then
+    for i = !kept to h.size - 1 do
+      h.data.(i) <- h.data.(!kept - 1)
+    done
+  else begin
+    h.data <- [||]
+  end;
+  h.size <- !kept;
+  for i = (h.size - 2) / 4 downto 0 do
+    sift_down h i
   done
 
 let to_sorted_list h =

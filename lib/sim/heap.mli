@@ -1,4 +1,4 @@
-(** Binary min-heap over arbitrary elements.
+(** Array-backed min-heap (4-ary) over arbitrary elements.
 
     Used as the event queue of the simulation {!Engine}; also reusable as a
     generic priority queue. Elements are ordered by the comparison function
@@ -6,7 +6,7 @@
     caller encodes a sequence number in the element (the engine does). *)
 
 type 'a t
-(** A mutable binary min-heap holding elements of type ['a]. *)
+(** A mutable min-heap holding elements of type ['a]. *)
 
 val create : cmp:('a -> 'a -> int) -> unit -> 'a t
 (** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first). *)
@@ -23,17 +23,28 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** [peek h] is the smallest element of [h], without removing it. *)
 
+val peek_exn : 'a t -> 'a
+(** Like {!peek} but raises [Invalid_argument] on an empty heap;
+    allocation-free. *)
+
 val pop : 'a t -> 'a option
 (** [pop h] removes and returns the smallest element of [h]. *)
 
 val pop_exn : 'a t -> 'a
-(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+(** Like {!pop} but raises [Invalid_argument] on an empty heap;
+    allocation-free. *)
 
 val clear : 'a t -> unit
 (** [clear h] removes every element. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 (** [iter f h] applies [f] to every element in unspecified order. *)
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** [filter_in_place keep h] drops every element for which [keep] is
+    [false] and re-establishes the heap property bottom-up. O(n),
+    allocation-free. The engine uses it to compact cancelled-event
+    tombstones out of the event queue. *)
 
 val to_sorted_list : 'a t -> 'a list
 (** [to_sorted_list h] drains [h] and returns its elements smallest-first.

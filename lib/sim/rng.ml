@@ -1,4 +1,25 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256++, with each 64-bit state word held as two immediate ints
+   (the 32-bit halves). OCaml boxes every [Int64] intermediate, which made
+   the generator the single hottest allocator in the simulator's main loop;
+   split into halves, one step runs entirely on unboxed native ints and the
+   output stream is bit-for-bit the Int64 version's. *)
+
+type t = {
+  mutable s0h : int;
+  mutable s0l : int;
+  mutable s1h : int;
+  mutable s1l : int;
+  mutable s2h : int;
+  mutable s2l : int;
+  mutable s3h : int;
+  mutable s3l : int;
+  (* Halves of the last step's output, written in place so draws never
+     allocate. *)
+  mutable rh : int;
+  mutable rl : int;
+}
+
+let m32 = 0xFFFF_FFFF
 
 (* splitmix64: used only to expand the integer seed into generator state. *)
 let splitmix64 state =
@@ -9,6 +30,9 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let hi64 x = Int64.to_int (Int64.shift_right_logical x 32)
+let lo64 x = Int64.to_int (Int64.logand x 0xFFFF_FFFFL)
+
 let create ~seed =
   let state = ref (Int64.of_int seed) in
   let s0 = splitmix64 state in
@@ -17,25 +41,58 @@ let create ~seed =
   let s3 = splitmix64 state in
   (* xoshiro state must not be all-zero; splitmix64 guarantees it for any
      seed, but keep a belt-and-braces fixup. *)
-  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
-    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
-  else { s0; s1; s2; s3 }
+  let s0, s1, s2, s3 =
+    if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+      (1L, 2L, 3L, 4L)
+    else (s0, s1, s2, s3)
+  in
+  {
+    s0h = hi64 s0;
+    s0l = lo64 s0;
+    s1h = hi64 s1;
+    s1l = lo64 s1;
+    s2h = hi64 s2;
+    s2l = lo64 s2;
+    s3h = hi64 s3;
+    s3l = lo64 s3;
+    rh = 0;
+    rl = 0;
+  }
 
-let rotl x k =
-  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+(* One xoshiro256++ step on 32-bit halves:
+     result = rotl (s0 + s3) 23 + s0
+     t = s1 << 17
+     s2 ^= s0; s3 ^= s1; s1 ^= s2; s0 ^= s3; s2 ^= t; s3 = rotl s3 45
+   Adds carry through [lsr 32]; rotl 45 is a half-swap followed by
+   rotl 13. The result lands in [rh]/[rl]. *)
+let step g =
+  let al = g.s0l + g.s3l in
+  let ah = (g.s0h + g.s3h + (al lsr 32)) land m32 in
+  let al = al land m32 in
+  let rh = ((ah lsl 23) lor (al lsr 9)) land m32 in
+  let rl = ((al lsl 23) lor (ah lsr 9)) land m32 in
+  let rl = rl + g.s0l in
+  g.rh <- (rh + g.s0h + (rl lsr 32)) land m32;
+  g.rl <- rl land m32;
+  let th = ((g.s1h lsl 17) lor (g.s1l lsr 15)) land m32 in
+  let tl = (g.s1l lsl 17) land m32 in
+  g.s2h <- g.s2h lxor g.s0h;
+  g.s2l <- g.s2l lxor g.s0l;
+  g.s3h <- g.s3h lxor g.s1h;
+  g.s3l <- g.s3l lxor g.s1l;
+  g.s1h <- g.s1h lxor g.s2h;
+  g.s1l <- g.s1l lxor g.s2l;
+  g.s0h <- g.s0h lxor g.s3h;
+  g.s0l <- g.s0l lxor g.s3l;
+  g.s2h <- g.s2h lxor th;
+  g.s2l <- g.s2l lxor tl;
+  let h = g.s3h and l = g.s3l in
+  g.s3h <- ((l lsl 13) lor (h lsr 19)) land m32;
+  g.s3l <- ((h lsl 13) lor (l lsr 19)) land m32
 
-(* xoshiro256++ *)
 let bits64 g =
-  let open Int64 in
-  let result = add (rotl (add g.s0 g.s3) 23) g.s0 in
-  let t = shift_left g.s1 17 in
-  g.s2 <- logxor g.s2 g.s0;
-  g.s3 <- logxor g.s3 g.s1;
-  g.s1 <- logxor g.s1 g.s2;
-  g.s0 <- logxor g.s0 g.s3;
-  g.s2 <- logxor g.s2 t;
-  g.s3 <- rotl g.s3 45;
-  result
+  step g;
+  Int64.logor (Int64.shift_left (Int64.of_int g.rh) 32) (Int64.of_int g.rl)
 
 let split g =
   let seed = Int64.to_int (bits64 g) in
@@ -43,8 +100,23 @@ let split g =
 
 let int g bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let mask = Int64.shift_right_logical (bits64 g) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  step g;
+  (* u = output lsr 1, a 63-bit value that does not fit a native int, so
+     reduce its halves modularly: u = uh * 2^32 + ul. *)
+  let uh = g.rh lsr 1 in
+  let ul = ((g.rh land 1) lsl 31) lor (g.rl lsr 1) in
+  if bound <= 0x4000_0000 then
+    (((uh mod bound) * (0x1_0000_0000 mod bound)) + (ul mod bound))
+    mod bound
+  else
+    (* Huge bounds (> 2^30, e.g. nanosecond ranges) would overflow the
+       modular product; fall back to one boxed division. *)
+    Int64.to_int
+      (Int64.rem
+         (Int64.logor
+            (Int64.shift_left (Int64.of_int uh) 32)
+            (Int64.of_int ul))
+         (Int64.of_int bound))
 
 let int_in g lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";
@@ -52,11 +124,14 @@ let int_in g lo hi =
 
 let float g bound =
   (* 53 random bits -> [0, 1) *)
-  let bits = Int64.shift_right_logical (bits64 g) 11 in
-  let unit = Int64.to_float bits *. (1.0 /. 9007199254740992.0) in
+  step g;
+  let bits = (g.rh lsl 21) lor (g.rl lsr 11) in
+  let unit = float_of_int bits *. (1.0 /. 9007199254740992.0) in
   unit *. bound
 
-let bool g = Int64.logand (bits64 g) 1L = 1L
+let bool g =
+  step g;
+  g.rl land 1 = 1
 
 let chance g p =
   if p <= 0.0 then false else if p >= 1.0 then true else float g 1.0 < p

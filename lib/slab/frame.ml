@@ -20,11 +20,13 @@ type env = {
   mutable reuse_check : (int -> unit) option;
   mutable probe : probe option;
   mutable grow_retry : grow_retry_policy option;
+  mutable debug_checks : bool;
   mutable next_oid : int;
   mutable next_sid : int;
 }
 
-let make_env ?pressure ?(costs = Costs.default) machine buddy =
+let make_env ?pressure ?(costs = Costs.default) ?(debug_checks = true) machine
+    buddy =
   {
     machine;
     buddy;
@@ -34,6 +36,7 @@ let make_env ?pressure ?(costs = Costs.default) machine buddy =
     reuse_check = None;
     probe = None;
     grow_retry = None;
+    debug_checks;
     next_oid = 0;
     next_sid = 0;
   }
@@ -85,7 +88,7 @@ and slab = {
   capacity : int;
   mutable free_objs : objekt list;
   mutable free_n : int;
-  mutable latent_objs : objekt list;
+  latent_objs : objekt Latq.t;
   mutable latent_n : int;
   mutable in_flight : int;
   mutable on_list : list_id;
@@ -108,7 +111,7 @@ and pcpu = {
   cpu : Sim.Machine.cpu;
   mutable ocache : objekt list;
   mutable ocache_n : int;
-  latent : objekt Sim.Deque.t;
+  latent : objekt Latq.Fifo.t;
   mutable preflush_scheduled : bool;
   mutable recent_allocs : int;
   mutable recent_releases : int;
@@ -159,7 +162,7 @@ let create_cache env ~name ~obj_size ?(latent_aware = false) ?latent_cap () =
           cpu;
           ocache = [];
           ocache_n = 0;
-          latent = Sim.Deque.create ();
+          latent = Latq.Fifo.create ();
           preflush_scheduled = false;
           recent_allocs = 0;
           recent_releases = 0;
@@ -206,7 +209,9 @@ let keep_free_target cache =
 
 let latent_total_slow cache =
   let in_caches =
-    Array.fold_left (fun acc pc -> acc + Sim.Deque.length pc.latent) 0 cache.pcpus
+    Array.fold_left
+      (fun acc pc -> acc + Latq.Fifo.length pc.latent)
+      0 cache.pcpus
   in
   let in_slabs = ref 0 in
   Array.iter
@@ -233,6 +238,14 @@ let trace_event cache (cpu : Sim.Machine.cpu) ?arg kind =
   let tr = tracer cache in
   if Trace.enabled tr then
     Trace.emit tr ~time:(now cache) ~cpu:cpu.id ~label:cache.name ?arg kind
+
+(* Like [trace_event ~arg], but the option is only built once the tracer
+   is known to be live — the deferred-free path calls this per object, and
+   the [Some] box was measurable when tracing was off. *)
+let trace_event_arg cache (cpu : Sim.Machine.cpu) ~arg kind =
+  let tr = tracer cache in
+  if Trace.enabled tr then
+    Trace.emit tr ~time:(now cache) ~cpu:cpu.id ~label:cache.name ~arg kind
 
 let lock_node cache (cpu : Sim.Machine.cpu) node =
   let delay =
@@ -356,6 +369,15 @@ let pop_ocache pc =
       pc.ocache_n <- pc.ocache_n - 1;
       Some obj
 
+(* Allocation-free fast path: callers check [pc.ocache_n > 0] first. *)
+let pop_ocache_exn pc =
+  match pc.ocache with
+  | [] -> invalid_arg "Frame.pop_ocache_exn: empty object cache"
+  | obj :: rest ->
+      pc.ocache <- rest;
+      pc.ocache_n <- pc.ocache_n - 1;
+      obj
+
 (* ceil(log2(used/llc)), capped: how many times the resident footprint has
    doubled past the last-level cache. *)
 let footprint_doublings cache =
@@ -426,13 +448,13 @@ let stamp_deferred cache obj ~cookie =
 let obj_to_latent_cache cache pc obj =
   obj.ostate <- In_latent_cache;
   cache.latent_count <- cache.latent_count + 1;
-  Sim.Deque.push_back pc.latent obj
+  Latq.Fifo.push_back pc.latent ~cookie:obj.gp_cookie obj
 
 let obj_to_latent_slab cache obj =
   let slab = obj.parent in
   obj.ostate <- In_latent_slab;
   cache.latent_count <- cache.latent_count + 1;
-  slab.latent_objs <- obj :: slab.latent_objs;
+  Latq.push slab.latent_objs ~cookie:obj.gp_cookie obj;
   slab.latent_n <- slab.latent_n + 1;
   slab.in_flight <- slab.in_flight - 1;
   if slab.latent_link = None then begin
@@ -441,42 +463,45 @@ let obj_to_latent_slab cache obj =
   end
 
 let latent_cache_pop_ripe cache pc ~completed =
-  match Sim.Deque.peek_front pc.latent with
-  | Some obj when obj.gp_cookie <= completed ->
+  match Latq.Fifo.pop_front_ripe pc.latent ~completed with
+  | Some obj ->
       cache.latent_count <- cache.latent_count - 1;
-      Sim.Deque.pop_front pc.latent
-  | _ -> None
+      Some obj
+  | None -> None
+
+let latent_cache_merge_ripe cache pc ~completed ~limit ~f =
+  let n = Latq.Fifo.merge_ripe pc.latent ~completed ~limit ~f in
+  cache.latent_count <- cache.latent_count - n;
+  n
 
 let latent_cache_pop_newest cache pc =
-  match Sim.Deque.pop_back pc.latent with
+  match Latq.Fifo.pop_back pc.latent with
   | Some obj ->
       cache.latent_count <- cache.latent_count - 1;
       Some obj
   | None -> None
 
 let slab_harvest_ripe slab ~completed =
-  let ripe, still =
-    List.partition (fun o -> o.gp_cookie <= completed) slab.latent_objs
+  let n =
+    Latq.harvest slab.latent_objs ~completed ~f:(fun o ->
+        (* latent -> free stays inside the slab: in_flight is unchanged,
+           but put_free_obj decrements it, so pre-compensate. *)
+        slab.in_flight <- slab.in_flight + 1;
+        put_free_obj slab o)
   in
-  match ripe with
-  | [] -> 0
-  | _ ->
-      slab.latent_objs <- still;
-      let n = List.length ripe in
-      slab.latent_n <- slab.latent_n - n;
-      slab.cache.latent_count <- slab.cache.latent_count - n;
-      (* latent -> free stays inside the slab: in_flight is unchanged but
-         put_free_obj decrements it, so pre-compensate. *)
-      slab.in_flight <- slab.in_flight + n;
-      List.iter (fun o -> put_free_obj slab o) ripe;
-      (if slab.latent_n = 0 then
-         match slab.latent_link with
-         | Some link ->
-             let node = slab.cache.nodes.(slab.node_id) in
-             Sim.Dlist.remove node.latent_slabs link;
-             slab.latent_link <- None
-         | None -> ());
-      n
+  if n = 0 then 0
+  else begin
+    slab.latent_n <- slab.latent_n - n;
+    slab.cache.latent_count <- slab.cache.latent_count - n;
+    (if slab.latent_n = 0 then
+       match slab.latent_link with
+       | Some link ->
+           let node = slab.cache.nodes.(slab.node_id) in
+           Sim.Dlist.remove node.latent_slabs link;
+           slab.latent_link <- None
+       | None -> ());
+    n
+  end
 
 let alloc_pages cache =
   let buddy = cache.env.buddy in
@@ -537,7 +562,7 @@ let grow cache (cpu : Sim.Machine.cpu) =
           capacity = cache.objs_per_slab;
           free_objs = [];
           free_n = cache.objs_per_slab;
-          latent_objs = [];
+          latent_objs = Latq.create ();
           latent_n = 0;
           in_flight = 0;
           on_list = L_unlinked;
@@ -651,16 +676,17 @@ let flush_to_node cache (cpu : Sim.Machine.cpu) ~count =
   if count > 0 then begin
     let pc = pcpu_for cache cpu in
     let touched_nodes = ref [] in
-    let rec pop n acc =
-      if n = 0 then acc
+    let rec pop n acc got =
+      if n = 0 then (acc, got)
       else
-        match pop_ocache pc with None -> acc | Some o -> pop (n - 1) (o :: acc)
+        match pop_ocache pc with
+        | None -> (acc, got)
+        | Some o -> pop (n - 1) (o :: acc) (got + 1)
     in
-    let objs = pop count [] in
+    let objs, moved = pop count [] 0 in
     match objs with
     | [] -> ()
     | _ ->
-        let moved = List.length objs in
         (* Group the lock acquisitions: one per touched node. *)
         List.iter
           (fun obj ->
@@ -680,7 +706,7 @@ let flush_to_node cache (cpu : Sim.Machine.cpu) ~count =
   end
 
 let first_with_free ?(depth = 16) dl =
-  List.find_opt (fun s -> s.free_n > 0) (Sim.Dlist.first_n dl depth)
+  Sim.Dlist.find_first ~depth (fun s -> s.free_n > 0) dl
 
 let select_slub node =
   (* SLUB picks the first partial slab; with latent awareness, pre-moved
@@ -694,10 +720,6 @@ let mostly_deferred slab =
   allocated > 0 && 2 * slab.latent_n > allocated
 
 let select_prudence ~scan_depth node =
-  let candidates = Sim.Dlist.first_n node.partial scan_depth in
-  let usable =
-    List.filter (fun s -> s.free_n > 0 && not (mostly_deferred s)) candidates
-  in
   let better a b =
     (* Fewer latent objects first (do not steal from slabs that are on
        their way to being entirely free), then denser refills. *)
@@ -705,52 +727,65 @@ let select_prudence ~scan_depth node =
     else a.free_n > b.free_n
   in
   let best =
-    List.fold_left
+    Sim.Dlist.fold_first_n node.partial scan_depth
       (fun acc s ->
-        match acc with
-        | None -> Some s
-        | Some cur -> if better s cur then Some s else acc)
-      None usable
+        if s.free_n > 0 && not (mostly_deferred s) then
+          match acc with
+          | None -> Some s
+          | Some cur -> if better s cur then Some s else acc
+        else acc)
+      None
   in
   match best with
   | Some s -> Some s
   | None -> first_with_free ~depth:scan_depth node.free_slabs
 
+(* The O(objects) sweep below only runs with [env.debug_checks] set: the
+   default for tests and check sweeps, off for the wall-clock benchmark
+   harness so the measured paths are the production ones. *)
 let check_invariants cache =
-  let seen_slabs = ref 0 in
-  Array.iter
-    (fun node ->
-      let check_list list_id dl =
+  if cache.env.debug_checks then begin
+    let seen_slabs = ref 0 in
+    Array.iter
+      (fun node ->
+        let check_list list_id dl =
+          Sim.Dlist.iter
+            (fun slab ->
+              incr seen_slabs;
+              assert (slab.on_list = list_id);
+              assert (slab.free_n = List.length slab.free_objs);
+              assert (slab.latent_n = Latq.length slab.latent_objs);
+              assert (
+                slab.free_n + slab.latent_n + slab.in_flight = slab.capacity);
+              assert (
+                slab.free_n >= 0 && slab.latent_n >= 0 && slab.in_flight >= 0);
+              List.iter (fun o -> assert (o.ostate = Free_in_slab)) slab.free_objs;
+              Latq.iter
+                (fun o -> assert (o.ostate = In_latent_slab))
+                slab.latent_objs;
+              assert (desired_list slab = slab.on_list))
+            dl
+        in
+        check_list L_full node.full;
+        check_list L_partial node.partial;
+        check_list L_free node.free_slabs;
         Sim.Dlist.iter
           (fun slab ->
-            incr seen_slabs;
-            assert (slab.on_list = list_id);
-            assert (slab.free_n = List.length slab.free_objs);
-            assert (slab.latent_n = List.length slab.latent_objs);
-            assert (slab.free_n + slab.latent_n + slab.in_flight = slab.capacity);
-            assert (slab.free_n >= 0 && slab.latent_n >= 0 && slab.in_flight >= 0);
-            List.iter (fun o -> assert (o.ostate = Free_in_slab)) slab.free_objs;
-            List.iter (fun o -> assert (o.ostate = In_latent_slab)) slab.latent_objs;
-            assert (desired_list slab = slab.on_list))
-          dl
-      in
-      check_list L_full node.full;
-      check_list L_partial node.partial;
-      check_list L_free node.free_slabs;
-      Sim.Dlist.iter
-        (fun slab ->
-          assert (slab.latent_n > 0);
-          assert (slab.latent_link <> None))
-        node.latent_slabs)
-    cache.nodes;
-  assert (!seen_slabs = cache.total_slabs);
-  assert (cache.latent_count = latent_total_slow cache);
-  Array.iter
-    (fun pc ->
-      assert (pc.ocache_n = List.length pc.ocache);
-      List.iter (fun o -> assert (o.ostate = In_object_cache)) pc.ocache;
-      Sim.Deque.iter (fun o -> assert (o.ostate = In_latent_cache)) pc.latent)
-    cache.pcpus
+            assert (slab.latent_n > 0);
+            assert (slab.latent_link <> None))
+          node.latent_slabs)
+      cache.nodes;
+    assert (!seen_slabs = cache.total_slabs);
+    assert (cache.latent_count = latent_total_slow cache);
+    Array.iter
+      (fun pc ->
+        assert (pc.ocache_n = List.length pc.ocache);
+        List.iter (fun o -> assert (o.ostate = In_object_cache)) pc.ocache;
+        Latq.Fifo.iter
+          (fun o -> assert (o.ostate = In_latent_cache))
+          pc.latent)
+      cache.pcpus
+  end
 
 let pp_cache fmt cache =
   Format.fprintf fmt "cache %s: obj=%dB order=%d objs/slab=%d ocache=%d slabs=%d live=%d latent=%d"

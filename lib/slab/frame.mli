@@ -58,6 +58,10 @@ type env = {
       (** When set, {!grow} retries transient page-alloc failures (those
           {!Mem.Buddy.would_satisfy} proves injected, not genuine
           exhaustion) with bounded exponential virtual-time backoff. *)
+  mutable debug_checks : bool;
+      (** Whether {!check_invariants}' O(objects) sweep runs (default
+          [true]; benchmarks turn it off so the measured hot paths are
+          the production ones). *)
   mutable next_oid : int;
   mutable next_sid : int;
 }
@@ -65,6 +69,7 @@ type env = {
 val make_env :
   ?pressure:Mem.Pressure.t ->
   ?costs:Costs.t ->
+  ?debug_checks:bool ->
   Sim.Machine.t ->
   Mem.Buddy.t ->
   env
@@ -106,7 +111,9 @@ and slab = private {
   capacity : int;
   mutable free_objs : objekt list;
   mutable free_n : int;
-  mutable latent_objs : objekt list;
+  latent_objs : objekt Latq.t;
+      (** Deferred objects parked on this slab, bucketed by grace-period
+          cookie so harvests cost O(ripe). *)
   mutable latent_n : int;
   mutable in_flight : int;
       (** Objects in object caches, latent caches, or held by mutators. *)
@@ -131,7 +138,9 @@ and pcpu = private {
   cpu : Sim.Machine.cpu;
   mutable ocache : objekt list;
   mutable ocache_n : int;
-  latent : objekt Sim.Deque.t;  (** Prudence's latent cache. *)
+  latent : objekt Latq.Fifo.t;
+      (** Prudence's latent cache: one deque plus a run-length cookie
+          index for O(distinct-cookies) ripeness queries. *)
   mutable preflush_scheduled : bool;
   mutable recent_allocs : int;  (** Since the last grace period (rates). *)
   mutable recent_releases : int;
@@ -213,6 +222,11 @@ val trace_event :
     flush, grow, shrink, lock and OOM events; allocator policies emit
     their own (hit/miss, merge, pre-flush, defer). *)
 
+val trace_event_arg :
+  cache -> Sim.Machine.cpu -> arg:int -> Trace.Event.kind -> unit
+(** [trace_event ~arg] for per-object hot paths: defers boxing the
+    argument until the tracer is known to be live. *)
+
 val truly_free : slab -> bool
 (** All objects back on the freelist: the slab's pages may be returned. *)
 
@@ -241,6 +255,10 @@ val take_free_obj : slab -> objekt option
 val push_ocache : cache -> pcpu -> objekt -> unit
 val pop_ocache : pcpu -> objekt option
 
+val pop_ocache_exn : pcpu -> objekt
+(** Allocation-free {!pop_ocache}; raises [Invalid_argument] when the
+    object cache is empty — check [ocache_n] first on hot paths. *)
+
 val hand_to_user : cache -> Sim.Machine.cpu -> objekt -> unit
 (** Mark [objekt] allocated, bump live counters, charge the first-touch
     cost if its memory was never used, run the reuse-safety hook. *)
@@ -259,12 +277,20 @@ val obj_to_latent_slab : cache -> objekt -> unit
 val latent_cache_pop_ripe : cache -> pcpu -> completed:int -> objekt option
 (** Pop the oldest latent-cache object if its grace period completed. *)
 
+val latent_cache_merge_ripe :
+  cache -> pcpu -> completed:int -> limit:int -> f:(objekt -> unit) -> int
+(** Batch form of {!latent_cache_pop_ripe}: pop up to [limit] ripe
+    objects oldest-first, apply [f] to each, return the count.
+    Allocation-free (the merge hot path). *)
+
 val latent_cache_pop_newest : cache -> pcpu -> objekt option
 (** Pop the newest latent-cache object (pre-flush eviction order). *)
 
 val slab_harvest_ripe : slab -> completed:int -> int
 (** Move every ripe latent object of [slab] back to its freelist; returns
-    the count. Caller relocates. *)
+    the count. O(ripe): whole cookie buckets pop off the latent queue
+    without touching objects waiting on later grace periods. Caller
+    relocates. *)
 
 val put_free_obj : slab -> objekt -> unit
 (** Return an object (from an object cache) to its slab freelist. *)
@@ -324,7 +350,8 @@ val check_invariants : cache -> unit
 (** Assert the full accounting story: per-slab
     [free + latent + in_flight = capacity], list membership matches
     [on_list], object states match their container, global counts add up.
-    For tests. *)
+    For tests. The O(objects) sweep is gated on [env.debug_checks]
+    (default on; benchmarks disable it). *)
 
 val pp_cache : Format.formatter -> cache -> unit
 

@@ -3,6 +3,7 @@
     - {!Size_class}: kmalloc classes and sizing heuristics
     - {!Costs}: the virtual-time cost model (hit / 4x refill / 14x grow)
     - {!Slab_stats}: per-cache statistics behind Figs. 7-11
+    - {!Latq}: grace-period-cookie-bucketed latent-object queues
     - {!Frame}: shared cache/slab/node machinery
     - {!Slub}: the baseline allocator (deferred frees via [call_rcu])
     - {!Backend}: allocator-agnostic interface used by the workloads
@@ -11,6 +12,7 @@
 module Size_class = Size_class
 module Costs = Costs
 module Slab_stats = Slab_stats
+module Latq = Latq
 module Frame = Frame
 module Backend = Backend
 module Slub = Slub

@@ -1,20 +1,22 @@
 type t = {
   env : Frame.env;
   rcu : Rcu.t;
-  mutable caches : (string * Frame.cache) list;
+  by_name : (string, Frame.cache) Hashtbl.t;
+  mutable caches : Frame.cache list;  (* newest first (insertion order) *)
 }
 
-let create env rcu = { env; rcu; caches = [] }
+let create env rcu = { env; rcu; by_name = Hashtbl.create 8; caches = [] }
 
 let env t = t.env
 let rcu t = t.rcu
 
 let create_cache t ~name ~obj_size =
-  match List.assoc_opt name t.caches with
+  match Hashtbl.find_opt t.by_name name with
   | Some c -> c
   | None ->
       let c = Frame.create_cache t.env ~name ~obj_size () in
-      t.caches <- (name, c) :: t.caches;
+      Hashtbl.replace t.by_name name c;
+      t.caches <- c :: t.caches;
       c
 
 let charge (cpu : Sim.Machine.cpu) ns = Sim.Machine.consume cpu ns
@@ -24,13 +26,14 @@ let alloc_inner t (cache : Frame.cache) cpu =
   let pc = Frame.pcpu_for cache cpu in
   Slab_stats.alloc cache.Frame.stats;
   charge cpu costs.Costs.hit;
-  match Frame.pop_ocache pc with
-  | Some obj ->
-      Slab_stats.hit cache.Frame.stats;
-      Frame.trace_event cache cpu Trace.Event.Alloc_hit;
-      Frame.hand_to_user cache cpu obj;
-      Some obj
-  | None ->
+  if pc.Frame.ocache_n > 0 then begin
+    let obj = Frame.pop_ocache_exn pc in
+    Slab_stats.hit cache.Frame.stats;
+    Frame.trace_event cache cpu Trace.Event.Alloc_hit;
+    Frame.hand_to_user cache cpu obj;
+    Some obj
+  end
+  else begin
       Slab_stats.miss cache.Frame.stats;
       Frame.trace_event cache cpu Trace.Event.Alloc_miss;
       let got =
@@ -53,6 +56,7 @@ let alloc_inner t (cache : Frame.cache) cpu =
             Frame.hand_to_user cache cpu obj;
             Some obj
         | None -> None
+  end
 
 let alloc t (cache : Frame.cache) (cpu : Sim.Machine.cpu) =
   let tr = Frame.tracer cache in
@@ -84,7 +88,7 @@ let free_deferred t (cache : Frame.cache) cpu obj =
   let costs = t.env.Frame.costs in
   Slab_stats.deferred_free cache.Frame.stats;
   let cookie = Rcu.snapshot t.rcu in
-  Frame.trace_event cache cpu ~arg:cookie Trace.Event.Defer_free;
+  Frame.trace_event_arg cache cpu ~arg:cookie Trace.Event.Defer_free;
   Frame.stamp_deferred cache obj ~cookie;
   charge cpu costs.Costs.defer_enqueue;
   (* Listing 1: the allocator never sees the object until RCU invokes the
@@ -111,5 +115,5 @@ let backend t =
     free = (fun cache cpu obj -> free t cache cpu obj);
     free_deferred = (fun cache cpu obj -> free_deferred t cache cpu obj);
     settle = (fun () -> settle t);
-    iter_caches = (fun f -> List.iter (fun (_, c) -> f c) t.caches);
+    iter_caches = (fun f -> List.iter f t.caches);
   }

@@ -127,6 +127,7 @@ let change_pct ~baseline ~current =
 let classify ~direction ~change ~tolerance =
   match direction with
   | R.Info -> if Float.abs change <= tolerance then Within else Improved
+  | R.Exact -> if Float.abs change <= tolerance then Within else Regressed
   | R.Lower_better ->
       if change > tolerance then Regressed
       else if change < -.tolerance then Improved

@@ -231,7 +231,7 @@ let latent_views ~rcu (backend : Slab.Backend.t) =
         in
         Array.iter
           (fun (pc : Slab.Frame.pcpu) ->
-            Sim.Deque.iter
+            Slab.Latq.Fifo.iter
               (fun (o : Slab.Frame.objekt) ->
                 bump ~slab_side:false o.Slab.Frame.gp_cookie)
               pc.Slab.Frame.latent)
@@ -240,7 +240,7 @@ let latent_views ~rcu (backend : Slab.Backend.t) =
           (fun (n : Slab.Frame.node) ->
             Sim.Dlist.iter
               (fun (s : Slab.Frame.slab) ->
-                List.iter
+                Slab.Latq.iter
                   (fun (o : Slab.Frame.objekt) ->
                     bump ~slab_side:true o.Slab.Frame.gp_cookie)
                   s.Slab.Frame.latent_objs)

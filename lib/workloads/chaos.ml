@@ -31,6 +31,7 @@ type config = {
   total_pages : int;
   stall_timeout_ns : int;
   ring : int;
+  debug_checks : bool;
 }
 
 let default_config ~scenario =
@@ -44,6 +45,7 @@ let default_config ~scenario =
     total_pages = 49_152;
     stall_timeout_ns = Sim.Clock.ms 200;
     ring = 16_384;
+    debug_checks = true;
   }
 
 (* The scenario matrix, pinned to fractions of the run so any duration
@@ -100,6 +102,7 @@ let plan_for cfg =
 
 type outcome = {
   label : string;
+  env : Env.t;
   scenario : scenario;
   survived : bool;
   oom_at_ns : int option;
@@ -148,6 +151,7 @@ let run_one cfg kind =
       (* Tracing on: the report's GP-latency p99 comes from the tracer's
          histogram. *)
       trace = Some cfg.ring;
+      debug_checks = cfg.debug_checks;
     }
   in
   let env = Env.build env_cfg in
@@ -180,6 +184,7 @@ let run_one cfg kind =
   let fstats = Faults.Injector.stats injector in
   {
     label = r.Endurance.label;
+    env;
     scenario = cfg.scenario;
     survived = r.Endurance.oom_at_ns = None;
     oom_at_ns = r.Endurance.oom_at_ns;

@@ -27,6 +27,9 @@ type config = {
   total_pages : int;
   stall_timeout_ns : int;  (** RCU stall-detector budget. *)
   ring : int;  (** Trace ring capacity (tracing is always armed). *)
+  debug_checks : bool;
+      (** Arm the frame's O(objects) invariant sweeps (default [true];
+          the wall-clock benchmark harness turns it off). *)
 }
 
 val default_config : scenario:scenario -> config
@@ -37,6 +40,7 @@ val plan_for : config -> Faults.Plan.t
 
 type outcome = {
   label : string;  (** "slub" / "prudence". *)
+  env : Env.t;  (** The simulated environment, for post-run inspection. *)
   scenario : scenario;
   survived : bool;  (** No fatal OOM before the run ended. *)
   oom_at_ns : int option;

@@ -20,6 +20,7 @@ type config = {
   costs : Slab.Costs.t;
   track_readers : bool;
   trace : int option;
+  debug_checks : bool;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     costs = Slab.Costs.default;
     track_readers = false;
     trace = None;
+    debug_checks = true;
   }
 
 type t = {
@@ -69,7 +71,10 @@ let build cfg =
   let pressure = Mem.Pressure.create buddy () in
   let rcu = Rcu.create ~config:cfg.rcu_config machine in
   Rcu.attach_pressure rcu pressure;
-  let fenv = Slab.Frame.make_env ~pressure ~costs:cfg.costs machine buddy in
+  let fenv =
+    Slab.Frame.make_env ~pressure ~costs:cfg.costs
+      ~debug_checks:cfg.debug_checks machine buddy
+  in
   let readers = Rcu.Readers.create rcu in
   if cfg.track_readers then
     fenv.Slab.Frame.reuse_check <-

@@ -30,6 +30,9 @@ type config = {
       (** [Some ring_capacity]: install a live {!Trace} tracer on the
           machine (per-CPU event rings of that capacity + latency
           histograms). [None] (default): tracing disabled, zero overhead. *)
+  debug_checks : bool;
+      (** Arm {!Slab.Frame.check_invariants}' O(objects) sweeps (default
+          [true]; the wall-clock benchmark harness turns it off). *)
 }
 
 val default_config : config

@@ -17,6 +17,7 @@ let () =
       ("rcu.readers", Test_readers.suite);
       ("slab.size_class+costs", Test_size_class.suite);
       ("slab.frame", Test_frame.suite);
+      ("slab.latq", Test_latq.suite);
       ("slab.slub", Test_slub.suite);
       ("slab.kmalloc", Test_kmalloc.suite);
       ("prudence", Test_prudence.suite);
@@ -28,6 +29,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("stats", Test_stats.suite);
       ("workloads", Test_workloads.suite);
+      ("bench.wallclock", Test_wallclock.suite);
       ("integration", Test_integration.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);

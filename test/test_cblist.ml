@@ -11,7 +11,7 @@ let test_enqueue_advance_take () =
     (Rcu.Cblist.advance cbl ~completed:1);
   Alcotest.(check int) "ready" 2 (Rcu.Cblist.ready cbl);
   Alcotest.(check int) "still waiting" 1 (Rcu.Cblist.waiting cbl);
-  List.iter (fun f -> f ()) (Rcu.Cblist.take_done cbl ~max:10);
+  ignore (Rcu.Cblist.drain cbl ~max:10 ~f:(fun f -> f ()));
   Alcotest.(check (list string)) "fifo invocation" [ "a"; "b" ] (List.rev !log)
 
 let test_throttled_take () =
@@ -21,12 +21,12 @@ let test_throttled_take () =
   done;
   ignore (Rcu.Cblist.advance cbl ~completed:1);
   Alcotest.(check int) "first batch" 10
-    (List.length (Rcu.Cblist.take_done cbl ~max:10));
+    (Rcu.Cblist.drain cbl ~max:10 ~f:(fun f -> f ()));
   Alcotest.(check int) "remaining ready" 15 (Rcu.Cblist.ready cbl);
   Alcotest.(check int) "second batch" 10
-    (List.length (Rcu.Cblist.take_done cbl ~max:10));
+    (Rcu.Cblist.drain cbl ~max:10 ~f:(fun f -> f ()));
   Alcotest.(check int) "tail batch" 5
-    (List.length (Rcu.Cblist.take_done cbl ~max:10));
+    (Rcu.Cblist.drain cbl ~max:10 ~f:(fun f -> f ()));
   Alcotest.(check int) "drained" 0 (Rcu.Cblist.total cbl)
 
 let test_advance_partial () =
@@ -46,7 +46,7 @@ let test_empty () =
   Alcotest.(check int) "total" 0 (Rcu.Cblist.total cbl);
   Alcotest.(check int) "advance noop" 0 (Rcu.Cblist.advance cbl ~completed:100);
   Alcotest.(check int) "take noop" 0
-    (List.length (Rcu.Cblist.take_done cbl ~max:5))
+    (Rcu.Cblist.drain cbl ~max:5 ~f:(fun f -> f ()))
 
 let suite =
   [

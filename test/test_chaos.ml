@@ -52,12 +52,36 @@ let test_stalled_reader_detected () =
     prud.Chaos.holdout_cpus;
   Alcotest.(check int) "no premature reuse" 0 prud.Chaos.safety_violations
 
+(* Everything except the live [env] handle, which holds closures and is
+   not comparable. *)
+let fields (o : Chaos.outcome) =
+  ( ( o.Chaos.label,
+      o.Chaos.scenario,
+      o.Chaos.survived,
+      o.Chaos.oom_at_ns,
+      o.Chaos.updates,
+      o.Chaos.stall_warnings,
+      o.Chaos.holdout_cpus,
+      o.Chaos.gp_p99_ns,
+      o.Chaos.grow_retries ),
+    ( o.Chaos.emergency_flushes,
+      o.Chaos.emergency_flushed_objs,
+      o.Chaos.ooms_delayed,
+      o.Chaos.max_backlog,
+      o.Chaos.injected_failures,
+      o.Chaos.flood_cbs,
+      o.Chaos.safety_violations,
+      o.Chaos.peak_used_mib,
+      o.Chaos.final_used_mib ) )
+
 let test_deterministic () =
   let cfg = small Chaos.Alloc_fault in
   let a1, b1 = Chaos.run_pair cfg in
   let a2, b2 = Chaos.run_pair cfg in
-  Alcotest.(check bool) "baseline outcome identical" true (a1 = a2);
-  Alcotest.(check bool) "prudence outcome identical" true (b1 = b2)
+  Alcotest.(check bool) "baseline outcome identical" true
+    (fields a1 = fields a2);
+  Alcotest.(check bool) "prudence outcome identical" true
+    (fields b1 = fields b2)
 
 let suite =
   [

@@ -240,9 +240,8 @@ let prop_cblist_conserves_callbacks =
             completed := !completed + arg;
             ignore (Rcu.Cblist.advance cbl ~completed:!completed)
         | _ ->
-            let cbs = Rcu.Cblist.take_done cbl ~max:(1 + arg) in
-            taken := !taken + List.length cbs;
-            List.iter (fun f -> f ()) cbs);
+            let n = Rcu.Cblist.drain cbl ~max:(1 + arg) ~f:(fun f -> f ()) in
+            taken := !taken + n);
         Rcu.Cblist.waiting cbl + Rcu.Cblist.ready cbl = Rcu.Cblist.total cbl
         && Rcu.Cblist.total cbl + !taken = !enqueued
         && !invoked = !taken
@@ -252,9 +251,7 @@ let prop_cblist_conserves_callbacks =
       begin
         (* Drain completely: everything enqueued must run exactly once. *)
         ignore (Rcu.Cblist.advance cbl ~completed:max_int);
-        List.iter
-          (fun f -> f ())
-          (Rcu.Cblist.take_done cbl ~max:max_int);
+        ignore (Rcu.Cblist.drain cbl ~max:max_int ~f:(fun f -> f ()));
         !invoked = !enqueued && Rcu.Cblist.total cbl = 0
       end)
 

@@ -97,9 +97,9 @@ let test_latent_cache_bounded () =
   List.iter (Prudence.free_deferred pr cache c) objs;
   Alcotest.(check bool)
     (Printf.sprintf "latent cache bounded (%d <= %d)"
-       (Sim.Deque.length pc.Frame.latent) cache.Frame.latent_cap)
+       (Slab.Latq.Fifo.length pc.Frame.latent) cache.Frame.latent_cap)
     true
-    (Sim.Deque.length pc.Frame.latent <= cache.Frame.latent_cap);
+    (Slab.Latq.Fifo.length pc.Frame.latent <= cache.Frame.latent_cap);
   let s = Stats.snapshot cache.Frame.stats in
   Alcotest.(check bool) "overflow went to latent slabs" true
     (s.Stats.latent_overflows > 0);
@@ -157,7 +157,7 @@ let test_partial_refill_leaves_room () =
     go []
   in
   List.iter (Prudence.free_deferred pr cache c) objs;
-  let latent_n = Sim.Deque.length pc.Frame.latent in
+  let latent_n = Slab.Latq.Fifo.length pc.Frame.latent in
   Alcotest.(check bool) "latent populated" true (latent_n > 0);
   let _o = alloc_exn pr cache c in
   (* ocache after refill must leave room: ocache_n + latent <= capacity
@@ -227,7 +227,7 @@ let test_preflush_runs_on_idle () =
   let s = Stats.snapshot cache.Frame.stats in
   Alcotest.(check bool) "pre-flush pass ran" true (s.Stats.preflush_passes >= 1);
   Alcotest.(check bool) "room restored" true
-    (pc.Frame.ocache_n + Sim.Deque.length pc.Frame.latent
+    (pc.Frame.ocache_n + Slab.Latq.Fifo.length pc.Frame.latent
     <= cache.Frame.ocache_cap);
   Frame.check_invariants cache
 

@@ -1,0 +1,64 @@
+(* The perf harness's gating fields must be pure functions of the
+   pinned configuration: two in-process runs of the same scenario have
+   to produce identical deterministic counters (the [Exact] metrics
+   committed as bench/BENCH_wallclock.json and gated in CI). Wall-clock
+   readings are machine noise and deliberately not compared. *)
+
+let counters (m : Wallclock.measurement) = m.Wallclock.c
+
+let test_deterministic_fields () =
+  let p =
+    { Wallclock.default_params with Wallclock.scale = 0.01; cpus = 2 }
+  in
+  let run () = Wallclock.run_all ~scenarios:[ Wallclock.Endurance ] p in
+  let ms1 = run () and ms2 = run () in
+  Alcotest.(check int) "both allocators measured" 2 (List.length ms1);
+  List.iter2
+    (fun m1 m2 ->
+      Alcotest.(check string)
+        "same allocator order" m1.Wallclock.alloc_label
+        m2.Wallclock.alloc_label;
+      Alcotest.(check bool)
+        (Printf.sprintf "deterministic counters identical (%s)"
+           m1.Wallclock.alloc_label)
+        true
+        (counters m1 = counters m2))
+    ms1 ms2
+
+let test_exact_metrics_are_gated () =
+  (* Every deterministic counter must be exported with the Exact
+     direction and zero tolerance, so the CI regress gate refuses any
+     drift; wall readings must stay Info (never gate). *)
+  let p =
+    { Wallclock.default_params with Wallclock.scale = 0.01; cpus = 2 }
+  in
+  let ms = Wallclock.run_all ~scenarios:[ Wallclock.Endurance ] p in
+  let metrics = Wallclock.metrics ms in
+  let exact, info =
+    List.partition
+      (fun m -> m.Metrics.Report.direction = Metrics.Report.Exact)
+      metrics
+  in
+  Alcotest.(check int) "7 exact counters per measurement" 14
+    (List.length exact);
+  List.iter
+    (fun m ->
+      Alcotest.(check (option (float 0.)))
+        ("zero tolerance: " ^ m.Metrics.Report.name)
+        (Some 0.) m.Metrics.Report.tolerance_pct)
+    exact;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        ("wall reading is Info: " ^ m.Metrics.Report.name)
+        true
+        (m.Metrics.Report.direction = Metrics.Report.Info))
+    info
+
+let suite =
+  [
+    Alcotest.test_case "perf counters are replay-stable" `Quick
+      test_deterministic_fields;
+    Alcotest.test_case "perf exports gate exact, wall as info" `Quick
+      test_exact_metrics_are_gated;
+  ]
