@@ -13,7 +13,11 @@
      functions of the seed alone, gated byte-identical in CI via the
      [Exact] metric direction;
    - wall-clock readings (seconds, derived rates, GC words) — machine-
-     dependent, exported as [Info] so they are tracked but never gate.
+     dependent, exported as [Info] so they are tracked but never gate;
+   - allocs-per-event — replay-stable for a given compiler but not
+     byte-exact across toolchains, gated [Lower_better] with a slack
+     tolerance so an accidental allocation regression in a hot path
+     fails CI while codegen drift does not.
 
    With --runs > 1 each scenario repeats in-process; the deterministic
    counters must agree across repetitions (a loud failure otherwise)
@@ -57,8 +61,10 @@ let throttled_rcu =
 let scaled_ns scale ns = max 1 (int_of_float (float_of_int ns *. scale))
 
 (* One run of a pinned scenario. Returns the environment (for post-run
-   counter extraction) and the workload's update count. *)
-let run_once p scenario kind =
+   counter extraction) and the workload's update count. [prof] installs a
+   profiler on the run's stack (the `prof` subcommand); the default null
+   profiler keeps benchmark runs instrumentation-free. *)
+let run_once ?(prof = Prof.null) p scenario kind =
   match scenario with
   | Endurance ->
       (* The `stat` subcommand's live endurance shape: 256 MiB, 2 s. *)
@@ -71,6 +77,7 @@ let run_once p scenario kind =
             seed = p.seed;
             total_pages = 65_536;
             rcu_config = throttled_rcu;
+            prof;
             debug_checks = false;
           }
       in
@@ -93,6 +100,7 @@ let run_once p scenario kind =
             seed = p.seed;
             total_pages = 262_144;
             rcu_config = throttled_rcu;
+            prof;
             debug_checks = false;
           }
       in
@@ -116,6 +124,7 @@ let run_once p scenario kind =
             W.Chaos.seed = p.seed;
             cpus = p.cpus;
             duration_ns = scaled_ns p.scale base.W.Chaos.duration_ns;
+            prof;
             debug_checks = false;
           }
           kind
@@ -204,6 +213,16 @@ let sim_ns_per_wall_ms m =
 let words_per_update m =
   if m.c.updates = 0 then 0. else m.minor_words /. float_of_int m.c.updates
 
+(* The §6-style overhead figure: simulator minor-heap words allocated per
+   engine event. The event count is deterministic and the allocation
+   profile is replay-stable for a given compiler, so unlike the wall
+   readings this gates — Lower_better with slack for codegen drift across
+   compiler point releases. *)
+let allocs_per_event m =
+  if m.c.events = 0 then 0. else m.minor_words /. float_of_int m.c.events
+
+let allocs_per_event_tolerance_pct = 15.
+
 let run_all ?(scenarios = all_scenarios) p =
   List.concat_map
     (fun s ->
@@ -223,6 +242,7 @@ let table ms =
       T.fmt_i (int_of_float (sim_ns_per_wall_ms m));
       T.fmt_i m.c.updates;
       Printf.sprintf "%.0f" (words_per_update m);
+      Printf.sprintf "%.1f" (allocs_per_event m);
       T.fmt_i m.c.gps;
     ]
   in
@@ -230,7 +250,7 @@ let table ms =
     ~header:
       [
         "scenario"; "alloc"; "wall ms"; "events"; "events/s";
-        "sim-ns/wall-ms"; "updates"; "words/update"; "GPs";
+        "sim-ns/wall-ms"; "updates"; "words/update"; "words/event"; "GPs";
       ]
     (List.map row ms)
 
@@ -245,6 +265,10 @@ let metrics ms =
         R.metric ~direction:R.Exact ~tolerance_pct:0. (pre ^ "." ^ name) v
       in
       let info name v = R.metric ~direction:R.Info (pre ^ "." ^ name) v in
+      let gated_lower name tol v =
+        R.metric ~direction:R.Lower_better ~tolerance_pct:tol
+          (pre ^ "." ^ name) v
+      in
       [
         exact "events" (float_of_int m.c.events);
         exact "sim_ns" (float_of_int m.c.sim_ns);
@@ -253,6 +277,8 @@ let metrics ms =
         exact "frees" (float_of_int m.c.frees);
         exact "deferred_frees" (float_of_int m.c.deferred_frees);
         exact "gps" (float_of_int m.c.gps);
+        gated_lower "allocs_per_event" allocs_per_event_tolerance_pct
+          (allocs_per_event m);
         info "wall_ms" (m.wall_s *. 1e3);
         info "events_per_sec" (events_per_sec m);
         info "sim_ns_per_wall_ms" (sim_ns_per_wall_ms m);

@@ -237,35 +237,60 @@ let run_stat alloc duration_ms sample_every capacity watch series format
     kinds;
   0
 
+let parse_perf_scenarios names =
+  let module Wc = Wallclock in
+  let names = if names = [] then [ "all" ] else names in
+  if names = [ "all" ] then Wc.all_scenarios
+  else
+    List.map
+      (fun name ->
+        match Wc.scenario_of_string name with
+        | Some s -> s
+        | None ->
+            Format.eprintf "unknown perf scenario %S; scenarios: %s, all@."
+              name
+              (String.concat ", " (List.map Wc.scenario_name Wc.all_scenarios));
+            exit 2)
+      names
+
 let run_regress baseline_file current_file tolerance json =
   let module B = Core.Stats.Bench_json in
   if tolerance < 0. then begin
     Format.eprintf "--tolerance-pct must be non-negative (got %g)@." tolerance;
     exit 2
   end;
-  let load what file =
-    match B.load_file file with
-    | Ok t -> t
-    | Error e ->
-        Format.eprintf "cannot load %s %s: %s@." what file e;
-        exit 2
+  (* With --json, every exit path still emits the one summary NDJSON
+     line automation keys on — a missing baseline or config mismatch
+     reports as an error summary, not silent stderr. *)
+  let fail_with ~code msg =
+    Format.eprintf "%s@." msg;
+    if json then
+      print_endline
+        (Core.Metrics.Json.to_string (B.summary_to_json ~error:msg []));
+    code
   in
-  let baseline = load "baseline" baseline_file in
-  let current = load "current" current_file in
+  let load what file k =
+    match B.load_file file with
+    | Ok t -> k t
+    | Error e ->
+        fail_with ~code:2 (Printf.sprintf "cannot load %s %s: %s" what file e)
+  in
+  load "baseline" baseline_file @@ fun baseline ->
+  load "current" current_file @@ fun current ->
   match B.config_mismatch ~baseline ~current with
-  | Some msg ->
-      Format.eprintf "%s@." msg;
-      1
+  | Some msg -> fail_with ~code:1 msg
   | None ->
       let drifts =
         B.compare_runs ~default_tolerance_pct:tolerance ~baseline ~current ()
       in
       let failed = B.failures drifts in
-      if json then
+      if json then begin
         List.iter
           (fun d ->
             print_endline (Core.Metrics.Json.to_string (B.drift_to_json d)))
-          drifts
+          drifts;
+        print_endline (Core.Metrics.Json.to_string (B.summary_to_json drifts))
+      end
       else Format.printf "%a" B.pp_drifts drifts;
       if failed = [] then 0
       else begin
@@ -277,22 +302,7 @@ let run_regress baseline_file current_file tolerance json =
 
 let run_perf names out p =
   let module Wc = Wallclock in
-  let names = if names = [] then [ "all" ] else names in
-  let scenarios =
-    if names = [ "all" ] then Wc.all_scenarios
-    else
-      List.map
-        (fun name ->
-          match Wc.scenario_of_string name with
-          | Some s -> s
-          | None ->
-              Format.eprintf "unknown perf scenario %S; scenarios: %s, all@."
-                name
-                (String.concat ", "
-                   (List.map Wc.scenario_name Wc.all_scenarios));
-              exit 2)
-        names
-  in
+  let scenarios = parse_perf_scenarios names in
   let wp =
     {
       Wc.scale = p.Core.Experiments.scale;
@@ -308,6 +318,50 @@ let run_perf names out p =
     "wrote %s (deterministic counters gate via `regress --tolerance-pct 0`; \
      wall timings are info-only)@."
     out;
+  0
+
+let run_prof names top by folded json p =
+  let module Pr = Profrun in
+  if top < 0 then begin
+    Format.eprintf "--top must be non-negative (got %d)@." top;
+    exit 2
+  end;
+  let by =
+    match Pr.sort_key_of_string by with
+    | Some k -> k
+    | None ->
+        Format.eprintf "unknown sort key %S (time, alloc)@." by;
+        exit 2
+  in
+  let scenarios = parse_perf_scenarios names in
+  let wp =
+    {
+      Wallclock.scale = p.Core.Experiments.scale;
+      seed = p.Core.Experiments.seed;
+      cpus = p.Core.Experiments.cpus;
+      runs = p.Core.Experiments.runs;
+    }
+  in
+  let rs = Pr.run_all ~scenarios wp in
+  if json then print_string (Pr.to_ndjson rs)
+  else
+    List.iter
+      (fun r ->
+        let top = if top = 0 then None else Some top in
+        Format.printf "%s@." (Pr.render ?top ~by r))
+      rs;
+  (match folded with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> List.iter (fun r -> output_string oc (Pr.folded ~by r)) rs);
+      if not json then
+        Format.printf
+          "wrote %s (folded call paths; feed to flamegraph.pl or \
+           speedscope)@."
+          file);
   0
 
 let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
@@ -676,12 +730,55 @@ let perf_cmd =
           wall timings stay informational")
     Term.(const run_perf $ names $ out $ params_term)
 
+let prof_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenarios (endurance, fig3, chaos-clean) or 'all' (default).")
+  in
+  let top =
+    let doc = "Show only the $(docv) heaviest spans per run (0 = all)." in
+    Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let by =
+    let doc = "Span ordering and folded-path weight: 'time' (self ns) or \
+               'alloc' (self minor words)." in
+    Arg.(value & opt string "time" & info [ "by" ] ~docv:"KEY" ~doc)
+  in
+  let folded =
+    let doc =
+      "Also write folded call paths ('engine.dispatch;slab.alloc N' lines, \
+       weighted per --by) to $(docv) for flamegraph.pl / speedscope."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+  in
+  let json =
+    let doc =
+      "Machine-readable output: one NDJSON object per span per run, one \
+       scenario_summary per run, one trailing summary line; the human \
+       tables are suppressed."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Hot-path profile: rerun the perf scenarios with the span profiler \
+          installed across engine/buddy/slab/RCU/Prudence and report \
+          per-span wall time, call counts and GC allocation words \
+          (allocs-per-event, subsystem shares, folded stacks for \
+          flamegraphs); deterministic counters are unchanged by profiling")
+    Term.(const run_prof $ names $ top $ by $ folded $ json $ params_term)
+
 let regress_cmd =
   let baseline =
+    (* A plain string, not Arg.file: a missing baseline must reach the
+       loader so `--json` still emits its error summary line. *)
     let doc = "Committed baseline BENCH_seed.json." in
     Arg.(
       required
-      & opt (some file) None
+      & opt (some string) None
       & info [ "baseline" ] ~docv:"FILE" ~doc)
   in
   let current =
@@ -719,7 +816,7 @@ let main_cmd =
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
     [
       list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd; stat_cmd; perf_cmd;
-      regress_cmd;
+      prof_cmd; regress_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

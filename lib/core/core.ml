@@ -6,6 +6,7 @@
     ...). *)
 
 module Trace = Trace
+module Prof = Prof
 module Sim = Sim
 module Mem = Mem
 module Rcu = Rcu

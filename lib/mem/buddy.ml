@@ -51,6 +51,7 @@ type t = {
      true refuses the request. Counted separately from genuine failures. *)
   mutable fail_hook : (order:int -> bool) option;
   mutable injected_failures : int;
+  mutable prof : Prof.t;
 }
 
 let create ?(page_size = 4096) ?(max_order = 10) ~total_pages () =
@@ -71,6 +72,7 @@ let create ?(page_size = 4096) ?(max_order = 10) ~total_pages () =
       failures = 0;
       fail_hook = None;
       injected_failures = 0;
+      prof = Prof.null;
     }
   in
   (* Seed the free lists: greedily carve the page range into the largest
@@ -109,6 +111,7 @@ let free_count t = t.frees
 let failed_allocs t = t.failures
 let injected_failures t = t.injected_failures
 let set_fail_hook t hook = t.fail_hook <- hook
+let set_prof t prof = t.prof <- prof
 
 let free_blocks t =
   let acc = ref [] in
@@ -148,9 +151,7 @@ let take_any t o =
   in
   go ()
 
-let alloc t ~order =
-  if order < 0 || order > t.max_order then
-    invalid_arg "Buddy.alloc: order out of range";
+let alloc_inner t ~order =
   match t.fail_hook with
   | Some hook when hook ~order ->
       t.injected_failures <- t.injected_failures + 1;
@@ -181,10 +182,19 @@ let alloc t ~order =
       t.allocs <- t.allocs + 1;
       Some { page; order }
 
+let alloc t ~order =
+  if order < 0 || order > t.max_order then
+    invalid_arg "Buddy.alloc: order out of range";
+  Prof.enter t.prof ~cpu:(-1) Prof.Span.Buddy_alloc;
+  let r = alloc_inner t ~order in
+  Prof.exit t.prof Prof.Span.Buddy_alloc;
+  r
+
 let alloc_exn t ~order =
   match alloc t ~order with Some b -> b | None -> raise Out_of_memory
 
 let free t { page; order } =
+  Prof.enter t.prof ~cpu:(-1) Prof.Span.Buddy_free;
   (match Hashtbl.find_opt t.allocated page with
   | Some o when o = order -> Hashtbl.remove t.allocated page
   | Some o ->
@@ -209,7 +219,8 @@ let free t { page; order } =
       else insert_free t order page
     end
   in
-  coalesce page order
+  coalesce page order;
+  Prof.exit t.prof Prof.Span.Buddy_free
 
 let check_invariants t =
   let free_total = ref 0 in

@@ -57,6 +57,11 @@ val set_fail_hook : t -> (order:int -> bool) option -> unit
 val injected_failures : t -> int
 (** Allocations refused by the fail hook; disjoint from {!failed_allocs}. *)
 
+val set_prof : t -> Prof.t -> unit
+(** Install a profiler: {!alloc}/{!free} open [buddy.alloc]/[buddy.free]
+    spans (global row — the buddy has no notion of the requesting CPU).
+    {!Prof.null} (the default) makes the probes no-ops. *)
+
 val would_satisfy : t -> order:int -> bool
 (** [would_satisfy t ~order] is [true] iff a free block of order >= [order]
     exists — i.e. an [alloc] failure at this instant was injected, not

@@ -28,6 +28,22 @@ let band buckets ~max_rows =
   in
   chunk [] None 0 buckets
 
+(* Summary JSON for the histogram: counts and sum are exact; the
+   percentiles carry the bucketing's <= 1/16 relative error. *)
+let to_json (h : Trace.Hist.t) =
+  let module J = Json in
+  J.Obj
+    [
+      ("count", J.Int (Trace.Hist.count h));
+      ("sum", J.Int (Trace.Hist.sum h));
+      ("mean", J.Float (Trace.Hist.mean h));
+      ("min", J.Int (Trace.Hist.min_value h));
+      ("max", J.Int (Trace.Hist.max_value h));
+      ("p50", J.Int (Trace.Hist.percentile h 50.));
+      ("p90", J.Int (Trace.Hist.percentile h 90.));
+      ("p99", J.Int (Trace.Hist.percentile h 99.));
+    ]
+
 let render ?(width = 40) ?(max_rows = 20) ~title (h : Trace.Hist.t) =
   let buf = Buffer.create 1024 in
   let count = Trace.Hist.count h in
@@ -38,8 +54,9 @@ let render ?(width = 40) ?(max_rows = 20) ~title (h : Trace.Hist.t) =
   | Some mean, Some p50 ->
     Buffer.add_string buf
       (Printf.sprintf
-         "%s: %d samples  mean %s  p50 %s  p90 %s  p99 %s  max %s\n" title
-         count
+         "%s: %d samples  sum %s  mean %s  p50 %s  p90 %s  p99 %s  max %s\n"
+         title count
+         (fmt_ns (Trace.Hist.sum h))
          (fmt_ns (int_of_float mean))
          (fmt_ns p50)
          (fmt_ns (Trace.Hist.percentile h 90.))

@@ -1,10 +1,14 @@
 (** ASCII rendering of {!Trace.Hist} latency histograms: a summary line
-    (count / mean / p50 / p90 / p99 / max) followed by one
+    (count / sum / mean / p50 / p90 / p99 / max) followed by one
     [low .. high |###| count] bar per bucket band. *)
 
 val fmt_ns : int -> string
 (** Compact virtual-nanosecond formatting: "850ns", "3.2us", "1.20ms",
     "2.50s". *)
+
+val to_json : Trace.Hist.t -> Json.t
+(** Summary object: exact [count]/[sum]/[min]/[max], [mean], and
+    [p50]/[p90]/[p99] (bucket-quantized, <= 1/16 relative error). *)
 
 val render : ?width:int -> ?max_rows:int -> title:string -> Trace.Hist.t -> string
 (** Render the histogram, collapsing adjacent buckets so at most

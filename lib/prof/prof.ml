@@ -1,0 +1,4 @@
+(** Facade: [Prof.enter]/[Prof.exit] with [Prof.Span.*] names. *)
+
+module Span = Span
+include Profiler

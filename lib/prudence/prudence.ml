@@ -53,6 +53,7 @@ let latent_outstanding t =
 (* Harvest ripe latent objects from the slabs the selector is about to
    examine, so their free counts reflect completed grace periods. *)
 let refresh_node_heads t cache node =
+  Prof.enter (Frame.prof cache) ~cpu:(-1) Prof.Span.Prudence_scan;
   let horizon = completed t in
   let refresh slab =
     if slab.Frame.latent_n > 0 then begin
@@ -62,7 +63,8 @@ let refresh_node_heads t cache node =
   in
   (* The node's latent-slab list is ordered oldest-first, so the slabs most
      likely to have ripe objects are at the front. *)
-  List.iter refresh (Sim.Dlist.first_n node.Frame.latent_slabs t.cfg.scan_depth)
+  List.iter refresh (Sim.Dlist.first_n node.Frame.latent_slabs t.cfg.scan_depth);
+  Prof.exit (Frame.prof cache) Prof.Span.Prudence_scan
 
 let select t cache node =
   refresh_node_heads t cache node;
@@ -125,6 +127,8 @@ let demote_to_latent_slab t (cache : Frame.cache) (pc : Frame.pcpu) obj =
    waits (no process context required): only objects whose grace period has
    already completed move. Returns the number of latent objects freed. *)
 let emergency_reclaim t =
+  Prof.enter (Sim.Machine.prof t.env.Frame.machine) ~cpu:(-1)
+    Prof.Span.Prudence_flush;
   let horizon = completed t in
   let total = ref 0 in
   List.iter
@@ -163,6 +167,7 @@ let emergency_reclaim t =
       end;
       total := !total + !freed)
     t.caches;
+  Prof.exit (Sim.Machine.prof t.env.Frame.machine) Prof.Span.Prudence_flush;
   !total
 
 let attach_pressure t pressure =
@@ -333,18 +338,27 @@ and alloc_slow t ~may_wait (cache : Frame.cache) cpu (pc : Frame.pcpu) =
               end
               else None))
 
+(* May suspend mid-span on the wait-on-OOM path (Rcu.synchronize);
+   Prof.exit's unwind semantics keep the span stack consistent. *)
 let alloc t ?(may_wait = true) (cache : Frame.cache) (cpu : Sim.Machine.cpu) =
+  Prof.enter (Frame.prof cache) ~cpu:cpu.Sim.Machine.id Prof.Span.Slab_alloc;
   let tr = Frame.tracer cache in
-  if not (Trace.enabled tr) then alloc_inner t ~may_wait cache cpu
-  else begin
-    let pend0 = cpu.Sim.Machine.pending_ns in
-    let result = alloc_inner t ~may_wait cache cpu in
-    Trace.record_alloc_cost tr (cpu.Sim.Machine.pending_ns - pend0);
-    result
-  end
+  let result =
+    if not (Trace.enabled tr) then alloc_inner t ~may_wait cache cpu
+    else begin
+      let pend0 = cpu.Sim.Machine.pending_ns in
+      let result = alloc_inner t ~may_wait cache cpu in
+      Trace.record_alloc_cost tr (cpu.Sim.Machine.pending_ns - pend0);
+      result
+    end
+  in
+  Prof.exit (Frame.prof cache) Prof.Span.Slab_alloc;
+  result
 
 (* Algorithm 1 FREE_DEFERRED (l.34-51). *)
 let free_deferred t (cache : Frame.cache) cpu obj =
+  Prof.enter (Frame.prof cache) ~cpu:cpu.Sim.Machine.id
+    Prof.Span.Prudence_defer;
   let costs = t.env.Frame.costs in
   let pc = Frame.pcpu_for cache cpu in
   Stats.deferred_free cache.Frame.stats;
@@ -379,12 +393,14 @@ let free_deferred t (cache : Frame.cache) cpu obj =
       Stats.latent_overflow cache.Frame.stats;
       charge cpu (demote_to_latent_slab t cache pc obj)
     end
-  end
+  end;
+  Prof.exit (Frame.prof cache) Prof.Span.Prudence_defer
 
 (* Regular free: like the baseline, but the overflow flush accounts for the
    latent objects that will need object-cache room after the grace period
    (§4.2 "object cache flush"). *)
 let free t (cache : Frame.cache) cpu obj =
+  Prof.enter (Frame.prof cache) ~cpu:cpu.Sim.Machine.id Prof.Span.Slab_free;
   let costs = t.env.Frame.costs in
   let pc = Frame.pcpu_for cache cpu in
   Stats.free cache.Frame.stats;
@@ -392,11 +408,12 @@ let free t (cache : Frame.cache) cpu obj =
   Frame.release_from_user cache obj;
   charge cpu costs.Costs.free_to_cache;
   Frame.push_ocache cache pc obj;
-  if pc.Frame.ocache_n > cache.Frame.ocache_cap then begin
-    let latent_n = Latq.Fifo.length pc.Frame.latent in
-    let keep = max 0 ((cache.Frame.ocache_cap / 2) - latent_n) in
-    Frame.flush_to_node cache cpu ~count:(pc.Frame.ocache_n - keep)
-  end
+  (if pc.Frame.ocache_n > cache.Frame.ocache_cap then begin
+     let latent_n = Latq.Fifo.length pc.Frame.latent in
+     let keep = max 0 ((cache.Frame.ocache_cap / 2) - latent_n) in
+     Frame.flush_to_node cache cpu ~count:(pc.Frame.ocache_n - keep)
+   end);
+  Prof.exit (Frame.prof cache) Prof.Span.Slab_free
 
 let create_cache t ~name ~obj_size =
   match Hashtbl.find_opt t.by_name name with

@@ -77,6 +77,7 @@ type t = {
 let machine t = t.machine
 let config t = t.cfg
 let tracer t = Sim.Machine.tracer t.machine
+let prof t = Sim.Machine.prof t.machine
 let now t = Sim.Engine.now t.engine
 let completed t = t.completed_gps
 let pending_callbacks t = t.pending
@@ -126,6 +127,7 @@ let rec raise_softirq t (pc : pcpu) =
   end
 
 and softirq_pass t (pc : pcpu) =
+  Prof.enter (prof t) ~cpu:pc.cpu.Sim.Machine.id Prof.Span.Rcu_cb_drain;
   pc.softirq_scheduled <- false;
   t.s_softirq_passes <- t.s_softirq_passes + 1;
   let n = min (batch_size t pc) (Cblist.ready pc.cbs) in
@@ -140,9 +142,11 @@ and softirq_pass t (pc : pcpu) =
     let drained = Cblist.drain pc.cbs ~max:n ~f:(fun fn -> fn ()) in
     assert (drained = n)
   end;
-  if Cblist.ready pc.cbs > 0 then raise_softirq t pc
+  if Cblist.ready pc.cbs > 0 then raise_softirq t pc;
+  Prof.exit (prof t) Prof.Span.Rcu_cb_drain
 
 let rec start_gp t =
+  Prof.enter (prof t) ~cpu:(-1) Prof.Span.Rcu_gp;
   assert (not t.gp_active);
   t.gp_active <- true;
   t.gp_requested <- false;
@@ -154,7 +158,8 @@ let rec start_gp t =
        Trace.Event.Gp_start);
   Array.fill t.qs_needed 0 (Array.length t.qs_needed) true;
   t.qs_remaining <- Array.length t.qs_needed;
-  arm_stall_check t t.s_gps_started
+  arm_stall_check t t.s_gps_started;
+  Prof.exit (prof t) Prof.Span.Rcu_gp
 
 (* Modelled on the kernel's CONFIG_RCU_CPU_STALL_TIMEOUT: a daemon event
    fires [stall_timeout_ns] after each grace period starts; if that same
@@ -187,6 +192,7 @@ and arm_stall_check t seq =
              end))
 
 and complete_gp t =
+  Prof.enter (prof t) ~cpu:(-1) Prof.Span.Rcu_gp;
   assert (t.gp_active);
   t.gp_active <- false;
   t.completed_gps <- t.completed_gps + 1;
@@ -208,14 +214,17 @@ and complete_gp t =
   Sim.Process.Cond.broadcast t.gp_cond;
   (* A gp hook may already have started the next grace period (e.g. the
      allocator requesting one for outstanding latent objects). *)
-  if (t.gp_requested || !waiting_remain) && not t.gp_active then start_gp t
+  if (t.gp_requested || !waiting_remain) && not t.gp_active then start_gp t;
+  Prof.exit (prof t) Prof.Span.Rcu_gp
 
 let quiescent_state t (cpu : Sim.Machine.cpu) =
+  Prof.enter (prof t) ~cpu:cpu.id Prof.Span.Rcu_qs;
   if t.gp_active && t.qs_needed.(cpu.id) then begin
     t.qs_needed.(cpu.id) <- false;
     t.qs_remaining <- t.qs_remaining - 1;
     if t.qs_remaining = 0 then complete_gp t
-  end
+  end;
+  Prof.exit (prof t) Prof.Span.Rcu_qs
 
 let request_gp t =
   if t.gp_active then t.gp_requested <- true else start_gp t
@@ -240,6 +249,7 @@ let synchronize t =
   Sim.Process.wait_until t.engine t.gp_cond (fun () -> poll t cookie)
 
 let barrier_drain t =
+  Prof.enter (prof t) ~cpu:(-1) Prof.Span.Rcu_cb_drain;
   Array.iter
     (fun pc ->
       ignore (Cblist.advance pc.cbs ~completed:t.completed_gps);
@@ -247,7 +257,8 @@ let barrier_drain t =
       t.pending <- t.pending - n;
       t.s_cbs_invoked <- t.s_cbs_invoked + n;
       ignore (Cblist.drain pc.cbs ~max:n ~f:(fun fn -> fn ())))
-    t.percpu
+    t.percpu;
+  Prof.exit (prof t) Prof.Span.Rcu_cb_drain
 
 let attach_pressure t pressure =
   Mem.Pressure.on_level_change pressure (fun level ->

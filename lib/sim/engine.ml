@@ -25,6 +25,7 @@ and t = {
   tiebreak : tiebreak;
   queue : event Heap.t;
   rng : Rng.t;
+  mutable prof : Prof.t;
 }
 
 type handle = event
@@ -79,17 +80,21 @@ let create ?(seed = 42) ?(tiebreak = Fifo) () =
     tiebreak;
     queue = Heap.create ~cmp:compare_events ();
     rng = Rng.create ~seed;
+    prof = Prof.null;
   }
 
 let now t = t.now
 let rng t = t.rng
 let tiebreak t = t.tiebreak
+let prof t = t.prof
+let set_prof t prof = t.prof <- prof
 
 let schedule_at ?(daemon = false) t ~time fn =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
          time t.now);
+  Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_schedule;
   let tie = tie_for t.tiebreak ~time ~seq:t.next_seq in
   let ev =
     { time; seq = t.next_seq; tie; fn; daemon; state = Queued; owner = t }
@@ -97,6 +102,7 @@ let schedule_at ?(daemon = false) t ~time fn =
   t.next_seq <- t.next_seq + 1;
   if not daemon then t.busy <- t.busy + 1;
   Heap.push t.queue ev;
+  Prof.exit t.prof Prof.Span.Engine_schedule;
   ev
 
 let schedule ?daemon t ~after fn =
@@ -145,12 +151,20 @@ let exec t ev =
       ev.state <- Done;
       if not ev.daemon then t.busy <- t.busy - 1;
       t.executed <- t.executed + 1;
-      ev.fn ()
+      Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_dispatch;
+      ev.fn ();
+      Prof.exit t.prof Prof.Span.Engine_dispatch
+
+let pop_profiled t =
+  Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_heap_pop;
+  let ev = Heap.pop_exn t.queue in
+  Prof.exit t.prof Prof.Span.Engine_heap_pop;
+  ev
 
 let step t =
   if t.stop_requested || Heap.is_empty t.queue then false
   else begin
-    exec t (Heap.pop_exn t.queue);
+    exec t (pop_profiled t);
     true
   end
 
@@ -161,7 +175,7 @@ let run ?until t =
     if t.stop_requested || Heap.is_empty t.queue then ()
     else if (Heap.peek_exn t.queue).time > horizon then ()
     else begin
-      exec t (Heap.pop_exn t.queue);
+      exec t (pop_profiled t);
       loop ()
     end
   in
@@ -186,7 +200,7 @@ let run_until_quiet ?(horizon = max_int) t =
     then ()
     else if (Heap.peek_exn t.queue).time > horizon then ()
     else begin
-      exec t (Heap.pop_exn t.queue);
+      exec t (pop_profiled t);
       loop ()
     end
   in

@@ -39,6 +39,15 @@ val now : t -> int
 val rng : t -> Rng.t
 (** The engine's root RNG; subsystems should [Rng.split] it. *)
 
+val prof : t -> Prof.t
+(** The engine's profiler; {!Prof.null} (disabled) unless {!set_prof}
+    was called. *)
+
+val set_prof : t -> Prof.t -> unit
+(** Install a profiler. The engine opens [engine.dispatch] /
+    [engine.schedule] / [engine.heap_pop] spans around event execution,
+    scheduling, and heap pops. *)
+
 val schedule : ?daemon:bool -> t -> after:int -> (unit -> unit) -> handle
 (** [schedule t ~after fn] runs [fn] at time [now t + after].
     [after] must be non-negative. [daemon] (default false) marks

@@ -233,6 +233,7 @@ let truly_free slab = slab.free_n = slab.capacity
 
 let now cache = Sim.Engine.now (Sim.Machine.engine cache.env.machine)
 let tracer cache = Sim.Machine.tracer cache.env.machine
+let prof cache = Sim.Machine.prof cache.env.machine
 
 let trace_event cache (cpu : Sim.Machine.cpu) ?arg kind =
   let tr = tracer cache in
@@ -446,21 +447,24 @@ let stamp_deferred cache obj ~cookie =
   cache.live_objs <- cache.live_objs - 1
 
 let obj_to_latent_cache cache pc obj =
+  Prof.enter (prof cache) ~cpu:pc.cpu.Sim.Machine.id Prof.Span.Latq_push;
   obj.ostate <- In_latent_cache;
   cache.latent_count <- cache.latent_count + 1;
-  Latq.Fifo.push_back pc.latent ~cookie:obj.gp_cookie obj
+  Latq.Fifo.push_back pc.latent ~cookie:obj.gp_cookie obj;
+  Prof.exit (prof cache) Prof.Span.Latq_push
 
 let obj_to_latent_slab cache obj =
+  Prof.enter (prof cache) ~cpu:(-1) Prof.Span.Latq_push;
   let slab = obj.parent in
   obj.ostate <- In_latent_slab;
   cache.latent_count <- cache.latent_count + 1;
   Latq.push slab.latent_objs ~cookie:obj.gp_cookie obj;
   slab.latent_n <- slab.latent_n + 1;
   slab.in_flight <- slab.in_flight - 1;
-  if slab.latent_link = None then begin
-    let node = cache.nodes.(slab.node_id) in
-    slab.latent_link <- Some (Sim.Dlist.push_back node.latent_slabs slab)
-  end
+  (if slab.latent_link = None then
+     let node = cache.nodes.(slab.node_id) in
+     slab.latent_link <- Some (Sim.Dlist.push_back node.latent_slabs slab));
+  Prof.exit (prof cache) Prof.Span.Latq_push
 
 let latent_cache_pop_ripe cache pc ~completed =
   match Latq.Fifo.pop_front_ripe pc.latent ~completed with
@@ -470,8 +474,10 @@ let latent_cache_pop_ripe cache pc ~completed =
   | None -> None
 
 let latent_cache_merge_ripe cache pc ~completed ~limit ~f =
+  Prof.enter (prof cache) ~cpu:pc.cpu.Sim.Machine.id Prof.Span.Latq_harvest;
   let n = Latq.Fifo.merge_ripe pc.latent ~completed ~limit ~f in
   cache.latent_count <- cache.latent_count - n;
+  Prof.exit (prof cache) Prof.Span.Latq_harvest;
   n
 
 let latent_cache_pop_newest cache pc =
@@ -482,6 +488,7 @@ let latent_cache_pop_newest cache pc =
   | None -> None
 
 let slab_harvest_ripe slab ~completed =
+  Prof.enter (prof slab.cache) ~cpu:(-1) Prof.Span.Latq_harvest;
   let n =
     Latq.harvest slab.latent_objs ~completed ~f:(fun o ->
         (* latent -> free stays inside the slab: in_flight is unchanged,
@@ -489,19 +496,19 @@ let slab_harvest_ripe slab ~completed =
         slab.in_flight <- slab.in_flight + 1;
         put_free_obj slab o)
   in
-  if n = 0 then 0
-  else begin
-    slab.latent_n <- slab.latent_n - n;
-    slab.cache.latent_count <- slab.cache.latent_count - n;
-    (if slab.latent_n = 0 then
+  (if n > 0 then begin
+     slab.latent_n <- slab.latent_n - n;
+     slab.cache.latent_count <- slab.cache.latent_count - n;
+     if slab.latent_n = 0 then
        match slab.latent_link with
        | Some link ->
            let node = slab.cache.nodes.(slab.node_id) in
            Sim.Dlist.remove node.latent_slabs link;
            slab.latent_link <- None
-       | None -> ());
-    n
-  end
+       | None -> ()
+   end);
+  Prof.exit (prof slab.cache) Prof.Span.Latq_harvest;
+  n
 
 let alloc_pages cache =
   let buddy = cache.env.buddy in
@@ -536,7 +543,7 @@ let rec grow_attempt cache (cpu : Sim.Machine.cpu) ~tries ~backoff =
           grow_attempt cache cpu ~tries:(tries + 1) ~backoff:(2 * backoff)
       | _ -> None)
 
-let grow cache (cpu : Sim.Machine.cpu) =
+let grow_inner cache (cpu : Sim.Machine.cpu) =
   let backoff =
     match cache.env.grow_retry with
     | Some p -> p.base_backoff_ns
@@ -592,6 +599,14 @@ let grow cache (cpu : Sim.Machine.cpu) =
       lock_pages cache cpu;
       poll_pressure cache;
       Some slab
+
+(* May suspend mid-span when the grow-retry policy sleeps; Prof.exit's
+   unwind semantics keep the span stack consistent across that. *)
+let grow cache (cpu : Sim.Machine.cpu) =
+  Prof.enter (prof cache) ~cpu:cpu.id Prof.Span.Slab_grow;
+  let r = grow_inner cache cpu in
+  Prof.exit (prof cache) Prof.Span.Slab_grow;
+  r
 
 let destroy_slab cache slab =
   assert (truly_free slab);

@@ -215,6 +215,11 @@ val fragmentation : cache -> float
 val tracer : cache -> Trace.t
 (** The machine's tracer ({!Trace.null} when tracing is off). *)
 
+val prof : cache -> Prof.t
+(** The machine's profiler ({!Prof.null} when profiling is off). The
+    frame opens [slab.grow] / [slab.latq_push] / [slab.latq_harvest]
+    spans; backends open the alloc/free/defer spans. *)
+
 val trace_event :
   cache -> Sim.Machine.cpu -> ?arg:int -> Trace.Event.kind -> unit
 (** Emit an event labelled with the cache name at the current virtual time

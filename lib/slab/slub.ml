@@ -59,14 +59,19 @@ let alloc_inner t (cache : Frame.cache) cpu =
   end
 
 let alloc t (cache : Frame.cache) (cpu : Sim.Machine.cpu) =
+  Prof.enter (Frame.prof cache) ~cpu:cpu.Sim.Machine.id Prof.Span.Slab_alloc;
   let tr = Frame.tracer cache in
-  if not (Trace.enabled tr) then alloc_inner t cache cpu
-  else begin
-    let pend0 = cpu.Sim.Machine.pending_ns in
-    let result = alloc_inner t cache cpu in
-    Trace.record_alloc_cost tr (cpu.Sim.Machine.pending_ns - pend0);
-    result
-  end
+  let result =
+    if not (Trace.enabled tr) then alloc_inner t cache cpu
+    else begin
+      let pend0 = cpu.Sim.Machine.pending_ns in
+      let result = alloc_inner t cache cpu in
+      Trace.record_alloc_cost tr (cpu.Sim.Machine.pending_ns - pend0);
+      result
+    end
+  in
+  Prof.exit (Frame.prof cache) Prof.Span.Slab_alloc;
+  result
 
 (* The reclamation path shared by immediate frees and RCU callbacks. *)
 let release t (cache : Frame.cache) cpu obj =
@@ -80,11 +85,14 @@ let release t (cache : Frame.cache) cpu obj =
       ~count:(pc.Frame.ocache_n - (cache.Frame.ocache_cap / 2))
 
 let free t cache cpu obj =
+  Prof.enter (Frame.prof cache) ~cpu:cpu.Sim.Machine.id Prof.Span.Slab_free;
   Slab_stats.free cache.Frame.stats;
   Frame.release_from_user cache obj;
-  release t cache cpu obj
+  release t cache cpu obj;
+  Prof.exit (Frame.prof cache) Prof.Span.Slab_free
 
 let free_deferred t (cache : Frame.cache) cpu obj =
+  Prof.enter (Frame.prof cache) ~cpu:cpu.Sim.Machine.id Prof.Span.Slab_defer;
   let costs = t.env.Frame.costs in
   Slab_stats.deferred_free cache.Frame.stats;
   let cookie = Rcu.snapshot t.rcu in
@@ -93,7 +101,8 @@ let free_deferred t (cache : Frame.cache) cpu obj =
   charge cpu costs.Costs.defer_enqueue;
   (* Listing 1: the allocator never sees the object until RCU invokes the
      callback, possibly long after the grace period. *)
-  Rcu.call_rcu t.rcu cpu (fun () -> release t cache cpu obj)
+  Rcu.call_rcu t.rcu cpu (fun () -> release t cache cpu obj);
+  Prof.exit (Frame.prof cache) Prof.Span.Slab_defer
 
 let settle t =
   let rec loop budget =

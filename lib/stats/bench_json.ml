@@ -241,6 +241,24 @@ let pp_drifts fmt drifts =
     (List.length drifts) (count Within) (count Improved) (count Regressed)
     (count Missing) (count Added)
 
+(* The trailing NDJSON line of `regress --json`. Emitted on every path —
+   including load/config failures, where there are no drifts to print —
+   so CI parsers always find exactly one summary object. *)
+let summary_to_json ?error drifts =
+  let count s = List.length (List.filter (fun d -> d.status = s) drifts) in
+  J.Obj
+    ([
+       ("type", J.Str "summary");
+       ("compared", J.Int (List.length drifts));
+       ("within", J.Int (count Within));
+       ("improved", J.Int (count Improved));
+       ("regressed", J.Int (count Regressed));
+       ("missing", J.Int (count Missing));
+       ("added", J.Int (count Added));
+       ("ok", J.Bool (error = None && failures drifts = []));
+     ]
+    @ match error with None -> [] | Some e -> [ ("error", J.Str e) ])
+
 let drift_to_json d =
   J.Obj
     [

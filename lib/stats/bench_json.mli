@@ -64,3 +64,9 @@ val pp_drifts : Format.formatter -> drift list -> unit
 (** Human-readable comparison table plus a one-line summary. *)
 
 val drift_to_json : drift -> Metrics.Json.t
+
+val summary_to_json : ?error:string -> drift list -> Metrics.Json.t
+(** The one-line summary object terminating `regress --json` output:
+    status counts plus [ok]. Pass [error] (and an empty drift list) when
+    the comparison never ran — a missing baseline or a config mismatch —
+    so automation still gets its summary line, with [ok = false]. *)

@@ -442,4 +442,57 @@ let register_env reg ?(prefix = "") (env : Workloads.Env.t) =
     ~help:"objects freed by emergency reclaim"
     (sum_stats (fun s -> s.S.emergency_flushed_objs));
   counter "prudence.ooms_delayed" ~help:"OOM-delay activations"
-    (sum_stats (fun s -> s.S.ooms_delayed))
+    (sum_stats (fun s -> s.S.ooms_delayed));
+  (* Profiler-derived metrics. Registered only when a live profiler is
+     installed, so registry output with profiling off is byte-identical
+     to a build that never heard of lib/prof. *)
+  let prof = env.Workloads.Env.prof in
+  if Prof.enabled prof then begin
+    let eng = env.Workloads.Env.eng in
+    let events () = float_of_int (Sim.Engine.executed eng) in
+    let per_event total () =
+      let e = events () in
+      if e = 0. then 0. else total () /. e
+    in
+    derived "prof.allocs_per_event" ~unit_:"words"
+      ~help:"minor-heap words attributed to spans, per engine event"
+      (per_event (fun () -> Prof.total_minor_words prof));
+    derived "prof.ns_per_event" ~unit_:"ns"
+      ~help:"profiled self wall-time per engine event"
+      (per_event (fun () -> Prof.total_self_ns prof));
+    List.iter
+      (fun sub ->
+        let pick () =
+          List.find
+            (fun (s, _, _) -> String.equal s sub)
+            (Prof.subsystem_totals prof)
+        in
+        let share part total = if total <= 0. then 0. else 100. *. part /. total in
+        derived
+          (Printf.sprintf "prof.%s.time_share_pct" sub)
+          ~unit_:"%"
+          ~help:(Printf.sprintf "share of profiled self time in %s spans" sub)
+          (fun () ->
+            let _, ns, _ = pick () in
+            share ns (Prof.total_self_ns prof));
+        derived
+          (Printf.sprintf "prof.%s.alloc_share_pct" sub)
+          ~unit_:"%"
+          ~help:
+            (Printf.sprintf "share of profiled minor words in %s spans" sub)
+          (fun () ->
+            let _, _, words = pick () in
+            share words (Prof.total_minor_words prof)))
+      Prof.Span.subsystems;
+    List.iter
+      (fun span ->
+        counter
+          (Printf.sprintf "prof.%s.calls" (Prof.Span.name span))
+          ~help:"span entries"
+          (fun () ->
+            List.fold_left
+              (fun acc (c : Prof.cell) ->
+                if c.span = span then acc +. float_of_int c.calls else acc)
+              0. (Prof.totals prof)))
+      Prof.Span.all
+  end

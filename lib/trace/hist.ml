@@ -57,6 +57,7 @@ let record t v =
   if v > t.max_v then t.max_v <- v
 
 let count t = t.count
+let sum t = t.sum
 let max_value t = t.max_v
 let min_value t = if t.count = 0 then 0 else t.min_v
 let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count

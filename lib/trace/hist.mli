@@ -13,6 +13,11 @@ val record : t -> int -> unit
 (** [record t v] adds one sample. Negative values are clamped to 0. *)
 
 val count : t -> int
+
+val sum : t -> int
+(** Exact sum of all recorded values (not bucket-quantized), so callers
+    can derive totals and rates without a second accumulator. *)
+
 val mean : t -> float
 val min_value : t -> int
 val max_value : t -> int

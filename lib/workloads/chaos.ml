@@ -31,6 +31,7 @@ type config = {
   total_pages : int;
   stall_timeout_ns : int;
   ring : int;
+  prof : Prof.t;
   debug_checks : bool;
 }
 
@@ -45,6 +46,7 @@ let default_config ~scenario =
     total_pages = 49_152;
     stall_timeout_ns = Sim.Clock.ms 200;
     ring = 16_384;
+    prof = Prof.null;
     debug_checks = true;
   }
 
@@ -151,6 +153,7 @@ let run_one cfg kind =
       (* Tracing on: the report's GP-latency p99 comes from the tracer's
          histogram. *)
       trace = Some cfg.ring;
+      prof = cfg.prof;
       debug_checks = cfg.debug_checks;
     }
   in

@@ -27,6 +27,7 @@ type config = {
   total_pages : int;
   stall_timeout_ns : int;  (** RCU stall-detector budget. *)
   ring : int;  (** Trace ring capacity (tracing is always armed). *)
+  prof : Prof.t;  (** Profiler for the run; {!Prof.null} (default) = off. *)
   debug_checks : bool;
       (** Arm the frame's O(objects) invariant sweeps (default [true];
           the wall-clock benchmark harness turns it off). *)

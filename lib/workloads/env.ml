@@ -20,6 +20,7 @@ type config = {
   costs : Slab.Costs.t;
   track_readers : bool;
   trace : int option;
+  prof : Prof.t;
   debug_checks : bool;
 }
 
@@ -37,6 +38,7 @@ let default_config =
     costs = Slab.Costs.default;
     track_readers = false;
     trace = None;
+    prof = Prof.null;
     debug_checks = true;
   }
 
@@ -52,6 +54,7 @@ type t = {
   backend : Slab.Backend.t;
   rng : Sim.Rng.t;
   tracer : Trace.t;
+  prof : Prof.t;
 }
 
 let build cfg =
@@ -66,8 +69,10 @@ let build cfg =
     | Some ring_capacity -> Trace.create ~ring_capacity ~ncpus:cfg.cpus ()
   in
   Sim.Machine.set_tracer machine tracer;
+  Sim.Machine.set_prof machine cfg.prof;
   Sim.Machine.start machine;
   let buddy = Mem.Buddy.create ~total_pages:cfg.total_pages () in
+  Mem.Buddy.set_prof buddy cfg.prof;
   let pressure = Mem.Pressure.create buddy () in
   let rcu = Rcu.create ~config:cfg.rcu_config machine in
   Rcu.attach_pressure rcu pressure;
@@ -100,6 +105,7 @@ let build cfg =
     backend;
     rng = Sim.Rng.split (Sim.Engine.rng eng);
     tracer;
+    prof = cfg.prof;
   }
 
 let cpu t i = Sim.Machine.cpu t.machine i

@@ -30,6 +30,9 @@ type config = {
       (** [Some ring_capacity]: install a live {!Trace} tracer on the
           machine (per-CPU event rings of that capacity + latency
           histograms). [None] (default): tracing disabled, zero overhead. *)
+  prof : Prof.t;
+      (** Profiler installed on the engine, machine, and buddy allocator;
+          {!Prof.null} (default): profiling disabled, zero overhead. *)
   debug_checks : bool;
       (** Arm {!Slab.Frame.check_invariants}' O(objects) sweeps (default
           [true]; the wall-clock benchmark harness turns it off). *)
@@ -50,6 +53,7 @@ type t = {
   backend : Slab.Backend.t;
   rng : Sim.Rng.t;
   tracer : Trace.t;  (** The machine's tracer; {!Trace.null} when off. *)
+  prof : Prof.t;  (** The installed profiler; {!Prof.null} when off. *)
 }
 
 val build : config -> t

@@ -156,6 +156,70 @@ let test_sampler_rings_and_export () =
       Alcotest.(check bool) "ndjson has source" true
         (J.member "ticks" j <> None))
 
+let test_sampler_wraparound_keeps_newest () =
+  (* Overfill the ring 4x: memory must stay bounded at [capacity] rows
+     and the retained window must be exactly the newest sweeps, with the
+     CSV and NDJSON exports agreeing row for row. The source returns the
+     sweep ordinal, so expected values are computable: 32 sweeps into a
+     ring of 8 leaves ordinals 25..32 at times 250..320. *)
+  let capacity = 8 and period = 10 and sweeps = 32 in
+  let eng = Sim.Engine.create () in
+  let s = Sim.Sampler.create eng ~capacity ~period_ns:period () in
+  let n = ref 0 in
+  Sim.Sampler.add_source s ~name:"ordinal" (fun () ->
+      incr n;
+      float_of_int !n);
+  Sim.Sampler.start s;
+  (* One tick past the last sweep so the t = sweeps*period daemon event
+     runs before the engine quiesces. *)
+  ignore (Sim.Engine.schedule eng ~after:((period * sweeps) + 1) (fun () -> ()));
+  Sim.Engine.run_until_quiet eng;
+  Alcotest.(check int) "all sweeps fired" sweeps !n;
+  Alcotest.(check int) "rows capped at capacity" capacity
+    (Sim.Sampler.rows s);
+  Alcotest.(check int) "dropped = overflow" (sweeps - capacity)
+    (Sim.Sampler.dropped s);
+  let rows = Sim.Sampler.to_array s in
+  Array.iteri
+    (fun i (t, vs) ->
+      let ordinal = sweeps - capacity + 1 + i in
+      Alcotest.(check int) "newest-window time" (ordinal * period) t;
+      Alcotest.(check (float 0.)) "newest-window value"
+        (float_of_int ordinal) vs.(0))
+    rows;
+  (* Both exports carry exactly the retained window, oldest first. *)
+  let csv_rows =
+    match
+      List.filter (fun l -> l <> "") (String.split_on_char '\n'
+        (Sim.Sampler.to_csv s))
+    with
+    | _header :: rows -> rows
+    | [] -> Alcotest.fail "empty csv"
+  in
+  Alcotest.(check int) "csv rows = ring" capacity (List.length csv_rows);
+  Alcotest.(check string) "csv first row is oldest retained"
+    (Printf.sprintf "%d,%d" ((sweeps - capacity + 1) * period)
+       (sweeps - capacity + 1))
+    (List.hd csv_rows);
+  let nd_rows =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Sim.Sampler.to_ndjson s))
+  in
+  Alcotest.(check int) "ndjson rows = ring" capacity (List.length nd_rows);
+  List.iteri
+    (fun i line ->
+      match J.of_string line with
+      | Error e -> Alcotest.failf "ndjson row %d unparseable: %s" i e
+      | Ok j ->
+          let ordinal = sweeps - capacity + 1 + i in
+          Alcotest.(check (option int)) "ndjson time"
+            (Some (ordinal * period))
+            (Option.bind (J.member "t" j) J.to_int_opt);
+          Alcotest.(check (option (float 0.))) "ndjson value"
+            (Some (float_of_int ordinal))
+            (Option.bind (J.member "ordinal" j) J.to_float_opt))
+    nd_rows
+
 (* ------------------------------------------------------------------ *)
 (* Live runs: determinism and provider-vs-recount agreement            *)
 (* ------------------------------------------------------------------ *)
@@ -392,6 +456,8 @@ let suite =
     Alcotest.test_case "registry: filtered attach" `Quick test_registry_attach;
     Alcotest.test_case "sampler: bounded ring + export" `Quick
       test_sampler_rings_and_export;
+    Alcotest.test_case "sampler: wraparound keeps newest window" `Quick
+      test_sampler_wraparound_keeps_newest;
     Alcotest.test_case "live: byte-identical reruns" `Slow
       test_live_deterministic;
     Alcotest.test_case "live: watch hook fires" `Slow test_live_watch_fires;
