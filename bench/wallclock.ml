@@ -27,19 +27,21 @@ module W = Workloads
 module R = Metrics.Report
 module T = Metrics.Table
 
-type scenario = Endurance | Fig3 | Chaos_clean
+type scenario = Endurance | Fig3 | Chaos_clean | Check
 
-let all_scenarios = [ Endurance; Fig3; Chaos_clean ]
+let all_scenarios = [ Endurance; Fig3; Chaos_clean; Check ]
 
 let scenario_name = function
   | Endurance -> "endurance"
   | Fig3 -> "fig3"
   | Chaos_clean -> "chaos-clean"
+  | Check -> "check"
 
 let scenario_of_string = function
   | "endurance" -> Some Endurance
   | "fig3" -> Some Fig3
   | "chaos-clean" | "chaos_clean" -> Some Chaos_clean
+  | "check" -> Some Check
   | _ -> None
 
 type params = { scale : float; seed : int; cpus : int; runs : int }
@@ -130,6 +132,50 @@ let run_once ?(prof = Prof.null) p scenario kind =
           kind
       in
       (o.W.Chaos.env, o.W.Chaos.updates)
+  | Check ->
+      (* The verification stack armed on a 1 s endurance run: shadow-heap
+         probes on every slab transition, the pattern oracles polling
+         from the engine observer, reader tracking on. The checker's own
+         cost lands in the check.probe span and its allocation behaviour
+         gates via allocs-per-event like any other hot path. *)
+      let duration_ns = scaled_ns p.scale (Sim.Clock.s 1) in
+      let env =
+        W.Env.build
+          {
+            W.Env.default_config with
+            W.Env.kind;
+            cpus = p.cpus;
+            seed = p.seed;
+            total_pages = 65_536;
+            rcu_config =
+              {
+                throttled_rcu with
+                Rcu.stall_timeout_ns = Some (max 1 (duration_ns / 8));
+              };
+            prof;
+            track_readers = true;
+            debug_checks = false;
+          }
+      in
+      let oracle = Check.Shadow.install env in
+      let orc =
+        Check.Oracles.install
+          (Check.Oracles.default_config ~duration_ns)
+          env
+      in
+      Sim.Engine.set_observer
+        (Sim.Machine.engine env.W.Env.machine)
+        (Some (fun ~time:_ -> Check.Oracles.poll_stall orc));
+      let r =
+        W.Endurance.run env
+          { W.Endurance.default_config with W.Endurance.duration_ns }
+      in
+      Check.Oracles.finalize orc;
+      if Check.Shadow.violation_count oracle > 0
+         || Check.Oracles.stall_violations orc <> []
+         || Check.Oracles.cb_violations orc <> []
+      then failwith "wallclock: oracle fired on the clean check scenario";
+      (env, r.W.Endurance.updates)
 
 (* Deterministic counters: pure functions of (scenario, kind, params). *)
 type counters = {

@@ -364,8 +364,40 @@ let run_prof names top by folded json p =
           file);
   0
 
+let parse_mutation mutate =
+  let module Sweep = Core.Check.Sweep in
+  match Sweep.mutation_of_string mutate with
+  | Some m -> m
+  | None ->
+      Format.eprintf "unknown mutation %S (none, %s)@." mutate
+        (String.concat ", " (List.map Sweep.mutation_name Sweep.all_mutations));
+      exit 2
+
+let parse_oracles disabled =
+  let module Sweep = Core.Check.Sweep in
+  List.fold_left
+    (fun (o : Sweep.oracles) name ->
+      match name with
+      | "page-reuse" -> { o with Sweep.page_reuse = false }
+      | "missed-qs" -> { o with Sweep.missed_qs = false }
+      | "cb-conservation" -> { o with Sweep.cb_conservation = false }
+      | _ ->
+          Format.eprintf
+            "unknown oracle %S (page-reuse, missed-qs, cb-conservation)@." name;
+          exit 2)
+    Sweep.all_oracles disabled
+
+let parse_plan = function
+  | None -> None
+  | Some s -> (
+      match Core.Faults.Plan.of_compact s with
+      | Ok p -> Some p
+      | Error e ->
+          Format.eprintf "bad --plan: %s@." e;
+          exit 2)
+
 let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
-    skip_diff json seed cpus =
+    disabled plan skip_diff json seed cpus =
   let module Sweep = Core.Check.Sweep in
   let module J = Core.Metrics.Json in
   if sweeps <= 0 || duration_ms <= 0 || pages <= 0 || cpus <= 0 then begin
@@ -375,13 +407,7 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
   end;
   let scenarios = parse_scenarios names in
   let kinds = parse_kinds alloc in
-  let mutation =
-    match Sweep.mutation_of_string mutate with
-    | Some m -> m
-    | None ->
-        Format.eprintf "unknown mutation %S (none, skip-gp)@." mutate;
-        exit 2
-  in
+  let mutation = parse_mutation mutate in
   let cfg =
     {
       Sweep.scenarios;
@@ -393,6 +419,8 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
       duration_ns = duration_ms * 1_000_000;
       total_pages = pages;
       mutation;
+      oracles = parse_oracles disabled;
+      plan = parse_plan plan;
     }
   in
   if not json then
@@ -435,7 +463,11 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
                     J.Int (List.length v.Sweep.oracle_violations) );
                   ( "reader_violations",
                     J.Int (List.length v.Sweep.reader_violations) );
+                  ( "stall_violations",
+                    J.Int (List.length v.Sweep.stall_violations) );
+                  ("cb_violations", J.Int (List.length v.Sweep.cb_violations));
                   ("audit_failures", J.Int (List.length v.Sweep.audit_failures));
+                  ("dropped_violations", J.Int v.Sweep.dropped_violations);
                   ("oracle_events", J.Int v.Sweep.oracle_events);
                   ("updates", J.Int v.Sweep.updates);
                   ("survived", J.Bool v.Sweep.survived);
@@ -478,6 +510,189 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
               ("ok", J.Bool (not failed));
             ]));
   if failed then 1 else 0
+
+let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
+    pages disabled plan no_minimize json seed cpus =
+  let module Sweep = Core.Check.Sweep in
+  let module Fuzz = Core.Check.Fuzz in
+  let module Minimize = Core.Check.Minimize in
+  let module J = Core.Metrics.Json in
+  if budget <= 0 || duration_ms <= 0 || pages <= 0 || cpus <= 0 then begin
+    Format.eprintf
+      "--budget, --duration-ms, --pages and --cpus must be positive@.";
+    exit 2
+  end;
+  let base =
+    {
+      Sweep.scenarios = parse_scenarios names;
+      kinds = parse_kinds alloc;
+      sweeps = 1;
+      base_shuffle_seed = shuffle_seed;
+      seed;
+      cpus;
+      duration_ns = duration_ms * 1_000_000;
+      total_pages = pages;
+      mutation = parse_mutation mutate;
+      oracles = parse_oracles disabled;
+      plan = parse_plan plan;
+    }
+  in
+  let fcfg = { Fuzz.base; budget; seed = fuzz_seed; stop_on_failure = true } in
+  if not json then
+    Format.printf
+      "fuzzing: budget %d, fuzz seed %d, workload seed %d, %d scenario(s) x \
+       %d allocator(s)...@."
+      budget fuzz_seed seed
+      (List.length base.Sweep.scenarios)
+      (List.length base.Sweep.kinds);
+  let case_json (r : Fuzz.record) =
+    let scfg, case = Fuzz.concretize fcfg r.Fuzz.input in
+    J.Obj
+      [
+        ("type", J.Str "case");
+        ("exec", J.Int r.Fuzz.exec);
+        ("origin", J.Str (Fuzz.origin_name r.Fuzz.origin));
+        ( "scenario",
+          J.Str (Core.Workloads.Chaos.scenario_name r.Fuzz.input.Fuzz.scenario)
+        );
+        ("alloc", J.Str (Core.Workloads.Env.kind_label r.Fuzz.input.Fuzz.kind));
+        ("shuffle_seed", J.Int r.Fuzz.input.Fuzz.shuffle_seed);
+        ("duration_ns", J.Int r.Fuzz.input.Fuzz.duration_ns);
+        ("cpus", J.Int r.Fuzz.input.Fuzz.cpus);
+        ( "plan",
+          match r.Fuzz.input.Fuzz.plan with
+          | None -> J.Null
+          | Some p -> J.Str (Core.Faults.Plan.to_compact p) );
+        ("ok", J.Bool (Sweep.ok r.Fuzz.verdict));
+        ("new_features", J.Int r.Fuzz.new_features);
+        ("total_features", J.Int r.Fuzz.total_features);
+        ("corpus_size", J.Int r.Fuzz.corpus_size);
+        ("replay", J.Str (Sweep.replay_command scfg case));
+      ]
+  in
+  let progress (r : Fuzz.record) =
+    if json then print_endline (J.to_string (case_json r))
+    else if r.Fuzz.new_features > 0 || not (Sweep.ok r.Fuzz.verdict) then
+      Format.printf "  #%-4d %-8s %-16s/%-9s %s%s@." r.Fuzz.exec
+        (Fuzz.origin_name r.Fuzz.origin)
+        (Core.Workloads.Chaos.scenario_name r.Fuzz.input.Fuzz.scenario)
+        (Core.Workloads.Env.kind_label r.Fuzz.input.Fuzz.kind)
+        (if Sweep.ok r.Fuzz.verdict then
+           Printf.sprintf "+%d features (%d total, corpus %d)"
+             r.Fuzz.new_features r.Fuzz.total_features r.Fuzz.corpus_size
+         else "FAIL")
+        (if Sweep.ok r.Fuzz.verdict then "" else " <-- oracle fired")
+  in
+  let result = Fuzz.run ~progress fcfg in
+  if not json then
+    Format.printf
+      "@.%d case(s) executed, %d coverage feature(s), corpus %d@."
+      result.Fuzz.executed result.Fuzz.total_features
+      (List.length result.Fuzz.corpus);
+  match result.Fuzz.failure with
+  | None ->
+      if json then
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("type", J.Str "summary");
+                  ("executed", J.Int result.Fuzz.executed);
+                  ("budget", J.Int budget);
+                  ("total_features", J.Int result.Fuzz.total_features);
+                  ("corpus_size", J.Int (List.length result.Fuzz.corpus));
+                  ("failure", J.Bool false);
+                  ("ok", J.Bool true);
+                ]))
+      else Format.printf "no oracle fired within the budget.@.";
+      0
+  | Some (fcfg', fcase, fverdict) ->
+      if not json then
+        Format.printf "@.failure at execution %d:@.%a@." result.Fuzz.executed
+          Sweep.pp_verdict fverdict;
+      let minimized =
+        if no_minimize then None
+        else begin
+          if not json then Format.printf "@.minimizing witness...@.";
+          let progress (s : Minimize.step) =
+            if json then
+              print_endline
+                (J.to_string
+                   (J.Obj
+                      [
+                        ("type", J.Str "shrink");
+                        ("action", J.Str s.Minimize.action);
+                        ("candidate", J.Str s.Minimize.candidate);
+                        ("kept", J.Bool s.Minimize.kept);
+                      ]))
+            else if s.Minimize.kept then
+              Format.printf "  %s %s: still fails, kept@." s.Minimize.action
+                s.Minimize.candidate
+          in
+          match Minimize.run ~progress fcfg' fcase with
+          | m -> Some m
+          | exception Minimize.Not_a_witness ->
+              if not json then
+                Format.printf "minimizer: case no longer fails (flaky?)@.";
+              None
+        end
+      in
+      let replay =
+        match minimized with
+        | Some m -> m.Minimize.replay
+        | None -> Sweep.replay_command fcfg' fcase
+      in
+      if json then begin
+        (match minimized with
+        | None -> ()
+        | Some m ->
+            let plan_specs =
+              match m.Minimize.cfg.Sweep.plan with
+              | Some p -> List.length p.Core.Faults.Plan.specs
+              | None -> 0
+            in
+            print_endline
+              (J.to_string
+                 (J.Obj
+                    [
+                      ("type", J.Str "minimized");
+                      ("runs", J.Int m.Minimize.runs);
+                      ( "duration_ns",
+                        J.Int m.Minimize.cfg.Sweep.duration_ns );
+                      ("cpus", J.Int m.Minimize.cfg.Sweep.cpus);
+                      ("plan_specs", J.Int plan_specs);
+                      ("replay", J.Str m.Minimize.replay);
+                    ])));
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("type", J.Str "summary");
+                  ("executed", J.Int result.Fuzz.executed);
+                  ("budget", J.Int budget);
+                  ("total_features", J.Int result.Fuzz.total_features);
+                  ("corpus_size", J.Int (List.length result.Fuzz.corpus));
+                  ("failure", J.Bool true);
+                  ("replay", J.Str replay);
+                  ("ok", J.Bool false);
+                ]))
+      end
+      else begin
+        (match minimized with
+        | None -> ()
+        | Some m ->
+            Format.printf
+              "@.minimal witness after %d shrink run(s): %d ms, %d cpus, %d \
+               fault spec(s)@."
+              m.Minimize.runs
+              (m.Minimize.cfg.Sweep.duration_ns / 1_000_000)
+              m.Minimize.cfg.Sweep.cpus
+              (match m.Minimize.cfg.Sweep.plan with
+              | Some p -> List.length p.Core.Faults.Plan.specs
+              | None -> 0));
+        Format.printf "@.replay: %s@." replay
+      end;
+      1
 
 open Cmdliner
 
@@ -605,9 +820,14 @@ let check_cmd =
   in
   let mutate =
     let doc =
-      "Mutation self-test: 'skip-gp' reclaims deferred objects without \
-       waiting for their grace period; the sweep must then FAIL with \
-       early-reuse violations (proof the oracle has teeth)."
+      "Mutation self-test: inject a known kernel bug class and require the \
+       matching oracle to FAIL the sweep (proof the oracle has teeth). \
+       'skip-gp' reclaims deferred objects without waiting for their grace \
+       period (shadow oracle); 'drop-stall' disarms the stall detector \
+       under pinned grace periods (missed-QS oracle); 'lose-cb' drops \
+       every 64th call_rcu callback between accounting and list \
+       (conservation oracle); 'free-latent-page' lets the shrinker return \
+       still-deferred pages to the buddy (page-reuse oracle)."
     in
     Arg.(value & opt string "none" & info [ "mutate" ] ~docv:"M" ~doc)
   in
@@ -618,6 +838,22 @@ let check_cmd =
   let pages =
     let doc = "Physical memory per run, in 4 KiB pages." in
     Arg.(value & opt int 8_192 & info [ "pages" ] ~docv:"N" ~doc)
+  in
+  let disable_oracle =
+    let doc =
+      "Disable one oracle (page-reuse, missed-qs, cb-conservation); \
+       repeatable. Used by the necessity self-tests: a --mutate run with \
+       its oracle disabled must pass."
+    in
+    Arg.(value & opt_all string [] & info [ "disable-oracle" ] ~docv:"O" ~doc)
+  in
+  let plan =
+    let doc =
+      "Fault-plan override in compact form ('seed:spec;spec;...', as \
+       printed by failing replay commands) instead of the scenario's \
+       default plan."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"PLAN" ~doc)
   in
   let skip_diff =
     let doc = "Skip the baseline-vs-Prudence differential trace replay." in
@@ -645,7 +881,92 @@ let check_cmd =
           command on any violation")
     Term.(
       const run_check $ names $ alloc $ sweeps $ shuffle_seed $ mutate
-      $ duration_ms $ pages $ skip_diff $ json $ seed_arg $ cpus)
+      $ duration_ms $ pages $ disable_oracle $ plan $ skip_diff $ json
+      $ seed_arg $ cpus)
+
+let fuzz_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenarios (clean, stalled-reader, cb-flood, pressure-spike, \
+                alloc-fault) or 'all' (default).")
+  in
+  let alloc =
+    let doc = "Allocator(s) to fuzz: slub, prudence or both." in
+    Arg.(value & opt string "both" & info [ "alloc" ] ~docv:"KIND" ~doc)
+  in
+  let budget =
+    let doc = "Maximum cases to execute." in
+    Arg.(value & opt int 100 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let fuzz_seed =
+    let doc =
+      "Fuzzer RNG seed (mutation choices). The same seed and budget replay \
+       the identical campaign, case for case."
+    in
+    Arg.(value & opt int 1 & info [ "fuzz-seed" ] ~docv:"N" ~doc)
+  in
+  let mutate =
+    let doc =
+      "Inject a bug class (skip-gp, drop-stall, lose-cb, free-latent-page) \
+       so the fuzzer has something to find; used by the guided-vs-brute \
+       self-test."
+    in
+    Arg.(value & opt string "none" & info [ "mutate" ] ~docv:"M" ~doc)
+  in
+  let shuffle_seed =
+    let doc = "Shuffle seed for the seed corpus." in
+    Arg.(value & opt int 1 & info [ "shuffle-seed" ] ~docv:"N" ~doc)
+  in
+  let duration_ms =
+    let doc = "Base virtual run length per case, in milliseconds (the \
+               duration mutator scales it x0.5..x2)." in
+    Arg.(value & opt int 50 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+  in
+  let pages =
+    let doc = "Physical memory per run, in 4 KiB pages." in
+    Arg.(value & opt int 8_192 & info [ "pages" ] ~docv:"N" ~doc)
+  in
+  let disable_oracle =
+    let doc = "Disable one oracle (page-reuse, missed-qs, cb-conservation); \
+               repeatable." in
+    Arg.(value & opt_all string [] & info [ "disable-oracle" ] ~docv:"O" ~doc)
+  in
+  let plan =
+    let doc = "Fault-plan override for the seed corpus, in compact form." in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let no_minimize =
+    let doc = "Report the first failure as-is instead of shrinking it." in
+    Arg.(value & flag & info [ "no-minimize" ] ~doc)
+  in
+  let json =
+    let doc =
+      "Machine-readable output: one NDJSON 'case' object per execution, \
+       'shrink' objects during minimization, a 'minimized' object and one \
+       trailing 'summary' line; byte-identical across runs with the same \
+       seeds and budget."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let cpus =
+    let doc = "Base simulated CPUs per run (the CPU mutator varies 2..8)." in
+    Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided schedule fuzzing: mutate (shuffle seed, fault \
+          plan, duration, CPUs) from a per-scenario seed corpus, keeping \
+          inputs that light up new behavioural coverage; on an oracle \
+          failure, shrink the witness (drop fault specs, binary-search \
+          duration, reduce CPUs) and print a one-line replay command; \
+          deterministic and replayable from --fuzz-seed")
+    Term.(
+      const run_fuzz $ names $ alloc $ budget $ fuzz_seed $ mutate
+      $ shuffle_seed $ duration_ms $ pages $ disable_oracle $ plan
+      $ no_minimize $ json $ seed_arg $ cpus)
 
 let stat_cmd =
   let alloc =
@@ -815,8 +1136,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
     [
-      list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd; stat_cmd; perf_cmd;
-      prof_cmd; regress_cmd;
+      list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd; fuzz_cmd; stat_cmd;
+      perf_cmd; prof_cmd; regress_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

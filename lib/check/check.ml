@@ -1,21 +1,34 @@
 (** Safety oracles and schedule exploration for the simulated allocators.
 
-    Three layers of verification, all pure observation (installing them
-    never changes allocator behaviour):
+    Several layers of verification, all pure observation (installing
+    them never changes allocator behaviour):
 
     - {!Shadow}: a shadow heap tracking every deferred object through
-      [live -> deferred -> ripe -> reclaimed], flagging early reuse and
-      use-after-reclaim;
+      [live -> deferred -> ripe -> reclaimed], flagging early reuse,
+      use-after-reclaim, and premature page reuse;
+    - {!Oracles}: kernel-bug pattern oracles beyond the shadow heap —
+      missed-QS stalls and callback-list conservation;
     - {!Audit}: invariant auditors for the buddy allocator, slab
       accounting, and latent-cache/grace-period consistency, callable at
       any virtual time;
+    - {!Coverage}: the cheap behavioural-coverage signal (oracle-state
+      transitions, trace adjacencies, same-instant run lengths) the
+      fuzzer steers by;
     - {!Sweep}: the chaos-scenario matrix under shuffled same-instant
       event orderings ({!Sim.Engine.Shuffle}), every run checked by the
-      oracle and the auditors, failures reported with a replay command;
+      oracles and the auditors, failures reported with a replay command;
+    - {!Fuzz}: coverage-guided mutation over (shuffle seed, fault plan,
+      duration, CPUs), seeded and replayable;
+    - {!Minimize}: witness shrinking — drop fault specs, binary-search
+      duration, reduce CPUs — re-running the oracles each step;
     - {!Differential}: one recorded trace replayed against both allocator
       stacks, requiring identical outcomes and verdicts. *)
 
 module Shadow = Shadow
+module Oracles = Oracles
 module Audit = Audit
+module Coverage = Coverage
 module Sweep = Sweep
+module Fuzz = Fuzz
+module Minimize = Minimize
 module Differential = Differential

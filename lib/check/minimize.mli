@@ -1,0 +1,36 @@
+(** Witness minimization.
+
+    A failing case from the sweep or the fuzzer is rarely minimal: the
+    fault plan carries specs that don't matter, the run is longer than
+    the bug needs, and the machine is wider. The minimizer shrinks all
+    three — greedy spec dropping, binary search on duration, CPU-count
+    reduction — re-running the full oracle stack after every candidate
+    and keeping a shrink only if the case {e still fails}. The result is
+    the smallest witness found plus the one-line
+    [prudence-repro check --plan='...'] command that reproduces it. *)
+
+type step = {
+  action : string;  (** ["drop-spec"], ["shrink-duration"], ["reduce-cpus"]. *)
+  candidate : string;  (** What was tried (spec name, duration, cpus). *)
+  kept : bool;  (** [true] when the shrunk candidate still fails. *)
+}
+
+type result = {
+  cfg : Sweep.config;  (** Minimal failing configuration (plan pinned). *)
+  case : Sweep.case;
+  verdict : Sweep.verdict;  (** From the final confirmation run. *)
+  replay : string;  (** One-liner reproducing the minimal witness. *)
+  runs : int;  (** Oracle runs spent, confirmations included. *)
+  steps : step list;  (** Every shrink attempt, in order. *)
+}
+
+exception Not_a_witness
+(** The starting case (or the final confirmation) did not fail. *)
+
+val run :
+  ?progress:(step -> unit) -> Sweep.config -> Sweep.case -> result
+(** Minimize. The scenario's default plan is first materialized into
+    [cfg.plan] so the replay is self-contained; duration shrinks to
+    millisecond granularity; CPU reduction skips counts that would
+    orphan a plan spec's target. Raises {!Not_a_witness} if the input
+    doesn't fail. *)

@@ -6,9 +6,20 @@ let pp_state ppf = function
   | Ripe -> Format.fprintf ppf "ripe"
   | Reclaimed -> Format.fprintf ppf "reclaimed"
 
+(* Coverage tags; 5 = page released while tracked. *)
+let tag = function
+  | None -> 0
+  | Some Live -> 1
+  | Some (Deferred _) -> 2
+  | Some Ripe -> 3
+  | Some Reclaimed -> 4
+
+let tag_gone = 5
+
 type kind =
   | Early_reuse of { cookie : int; completed : int }
   | Use_after_reclaim of { cpu : int }
+  | Page_reuse of { cookie : int; completed : int }
   | Bad_transition of { from : state option; event : string }
 
 type violation = { at_ns : int; oid : int; kind : kind }
@@ -25,6 +36,11 @@ let describe v =
         cookie completed
   | Use_after_reclaim { cpu } ->
       Printf.sprintf "reader on cpu%d dereferenced it after reclaim" cpu
+  | Page_reuse { cookie; completed } ->
+      Printf.sprintf
+        "its page returned to the buddy allocator while it still waited \
+         for grace period %d (only %d completed): premature page reuse"
+        cookie completed
   | Bad_transition { from; event } ->
       let from_s =
         match from with
@@ -35,22 +51,42 @@ let describe v =
 
 let pp_violation ppf v = Format.pp_print_string ppf (describe v)
 
+(* Bound the log so a badly mutated run inside a long fuzz session cannot
+   grow memory without bound: first K violations kept, the rest counted. *)
+let max_logged_violations = 64
+
 type t = {
   machine : Sim.Machine.t;
   rcu : Rcu.t;
+  prof : Prof.t;
+  page_reuse : bool;
+  coverage : Coverage.t option;
   states : (int, state) Hashtbl.t;
-  mutable violation_log : violation list; (* reversed *)
+  mutable violation_log : violation list; (* reversed; first K kept *)
+  mutable logged : int;
+  mutable dropped : int;
   mutable events : int;
 }
 
 let now t = Sim.Engine.now (Sim.Machine.engine t.machine)
 
 let flag t ~oid kind =
-  t.violation_log <- { at_ns = now t; oid; kind } :: t.violation_log
-
-let set t oid st = Hashtbl.replace t.states oid st
+  if t.logged < max_logged_violations then begin
+    t.violation_log <- { at_ns = now t; oid; kind } :: t.violation_log;
+    t.logged <- t.logged + 1
+  end
+  else t.dropped <- t.dropped + 1
 
 let state t ~oid = Hashtbl.find_opt t.states oid
+
+let set t oid st =
+  (match t.coverage with
+  | Some cov ->
+      Coverage.note_transition cov
+        ~from_tag:(tag (state t ~oid))
+        ~to_tag:(tag (Some st))
+  | None -> ());
+  Hashtbl.replace t.states oid st
 
 (* A mutator received the object. Legal from: fresh (grow carves objects
    straight onto the slab freelist, no pool probe), a free pool, or ripe
@@ -93,6 +129,36 @@ let on_pool t ~oid ~cookie:_ =
   | Some (Live | Deferred _ | Ripe | Reclaimed) | None -> ());
   set t oid Reclaimed
 
+(* The page-level reuse boundary: the slab's page is going back to the
+   buddy allocator. Any object on it still inside its grace period means
+   the page can be re-carved and handed out while readers may still hold
+   pointers into it — distinct from (and invisible to) the object-level
+   early-reuse check, because the object never re-enters a free pool. *)
+let on_page_release t ~oids =
+  List.iter
+    (fun (oid, cookie) ->
+      t.events <- t.events + 1;
+      (if t.page_reuse then
+         match state t ~oid with
+         | Some (Deferred c) when not (Rcu.poll t.rcu c) ->
+             flag t ~oid
+               (Page_reuse { cookie = c; completed = Rcu.completed t.rcu })
+         | Some (Live | Deferred _ | Ripe | Reclaimed) | None ->
+             (* Deferred-and-ripe (grace period done, harvest pending) is
+                safe; cross-check the frame's stamp for never-seen oids. *)
+             if not (Rcu.poll t.rcu cookie) && state t ~oid = None then
+               flag t ~oid
+                 (Page_reuse { cookie; completed = Rcu.completed t.rcu }));
+      (match t.coverage with
+      | Some cov ->
+          Coverage.note_transition cov
+            ~from_tag:(tag (state t ~oid))
+            ~to_tag:tag_gone
+      | None -> ());
+      (* The page is gone; the oid will never be seen again. *)
+      Hashtbl.remove t.states oid)
+    oids
+
 let on_reader_access t ~cpu ~oid =
   t.events <- t.events + 1;
   match state t ~oid with
@@ -111,23 +177,53 @@ let on_gp_complete t completed =
     t.states;
   List.iter (fun oid -> set t oid Ripe) !ripe
 
-let install (env : Workloads.Env.t) =
+let install ?(page_reuse = true) ?coverage (env : Workloads.Env.t) =
   let t =
     {
       machine = env.Workloads.Env.machine;
       rcu = env.Workloads.Env.rcu;
+      prof = env.Workloads.Env.prof;
+      page_reuse;
+      coverage;
       states = Hashtbl.create 4096;
       violation_log = [];
+      logged = 0;
+      dropped = 0;
       events = 0;
     }
   in
+  (* Probe handlers run under the [check.probe] span so oracle overhead
+     shows up in the prof tables next to the paths it rides on; on
+     [Prof.null] each enter/exit is one load and branch. *)
+  let prof = t.prof in
   env.Workloads.Env.fenv.Slab.Frame.probe <-
     Some
       {
-        Slab.Frame.on_alloc = (fun ~oid -> on_alloc t ~oid);
-        on_free = (fun ~oid -> on_free t ~oid);
-        on_defer = (fun ~oid ~cookie -> on_defer t ~oid ~cookie);
-        on_pool = (fun ~oid ~cookie -> on_pool t ~oid ~cookie);
+        Slab.Frame.on_alloc =
+          (fun ~oid ->
+            Prof.enter prof ~cpu:(-1) Prof.Span.Check_probe;
+            on_alloc t ~oid;
+            Prof.exit prof Prof.Span.Check_probe);
+        on_free =
+          (fun ~oid ->
+            Prof.enter prof ~cpu:(-1) Prof.Span.Check_probe;
+            on_free t ~oid;
+            Prof.exit prof Prof.Span.Check_probe);
+        on_defer =
+          (fun ~oid ~cookie ->
+            Prof.enter prof ~cpu:(-1) Prof.Span.Check_probe;
+            on_defer t ~oid ~cookie;
+            Prof.exit prof Prof.Span.Check_probe);
+        on_pool =
+          (fun ~oid ~cookie ->
+            Prof.enter prof ~cpu:(-1) Prof.Span.Check_probe;
+            on_pool t ~oid ~cookie;
+            Prof.exit prof Prof.Span.Check_probe);
+        on_page_release =
+          (fun ~oids ->
+            Prof.enter prof ~cpu:(-1) Prof.Span.Check_probe;
+            on_page_release t ~oids;
+            Prof.exit prof Prof.Span.Check_probe);
       };
   Rcu.on_gp_complete t.rcu (fun completed -> on_gp_complete t completed);
   Rcu.Readers.set_access_hook env.Workloads.Env.readers
@@ -135,7 +231,8 @@ let install (env : Workloads.Env.t) =
   t
 
 let violations t = List.rev t.violation_log
-let violation_count t = List.length t.violation_log
+let violation_count t = t.logged
+let dropped_violations t = t.dropped
 let tracked t = Hashtbl.length t.states
 let events t = t.events
 

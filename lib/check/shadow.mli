@@ -6,19 +6,26 @@
     {v live -> deferred(cookie) -> ripe -> reclaimed -> live -> ... v}
 
     by listening to the {!Slab.Frame.probe} hooks plus the reader access
-    hook, and flags the two failures procrastination-based reclamation
-    must never exhibit:
+    hook, and flags the failures procrastination-based reclamation must
+    never exhibit:
 
     - {e early reuse}: a deferred object enters a free pool (object cache
       or slab freelist) before its grace period has completed — the memory
       is about to be handed to a new owner while readers may still hold
       the old incarnation;
     - {e use after reclaim}: a reader dereferences an object whose memory
-      has already been returned to a free pool.
+      has already been returned to a free pool;
+    - {e premature page reuse}: a slab page returns to the buddy allocator
+      while an object on it is still inside its grace period — distinct
+      from object-level early reuse because the object never re-enters a
+      free pool; the whole page escapes.
 
     The oracle is pure observation: it never changes allocator behaviour,
     so a run with the oracle installed is byte-identical to one without.
-    Violations are recorded (with virtual timestamps), never raised. *)
+    Violations are recorded (with virtual timestamps), never raised; the
+    log keeps the first {!max_logged_violations} and counts the rest, so
+    a badly mutated run cannot grow memory without bound during long fuzz
+    sessions. *)
 
 type state =
   | Live  (** Held by a mutator. *)
@@ -34,6 +41,9 @@ type kind =
           but only [completed] grace periods had finished. *)
   | Use_after_reclaim of { cpu : int }
       (** A reader on [cpu] dereferenced the object after reclaim. *)
+  | Page_reuse of { cookie : int; completed : int }
+      (** Its page went back to the buddy allocator while the object
+          still waited for grace period [cookie]. *)
   | Bad_transition of { from : state option; event : string }
       (** Lifecycle violation, e.g. double free or defer of a non-live
           object. [from] is [None] for an object never seen before. *)
@@ -45,17 +55,26 @@ val pp_violation : Format.formatter -> violation -> unit
 
 type t
 
-val install : Workloads.Env.t -> t
+val install : ?page_reuse:bool -> ?coverage:Coverage.t -> Workloads.Env.t -> t
 (** Wire the oracle into a built environment: sets the frame's probe
-    record, registers a grace-period completion hook that promotes
-    deferred objects to ripe, and installs the reader access hook.
-    Install at most one oracle per environment (the hooks are
-    overwritten, not chained). *)
+    record (under the [check.probe] prof span), registers a grace-period
+    completion hook that promotes deferred objects to ripe, and installs
+    the reader access hook. [page_reuse] (default [true]) controls the
+    page-level check — the off switch exists so its [--mutate] self-test
+    can prove the oracle necessary. When [coverage] is given, every
+    shadow-state transition feeds it. Install at most one oracle per
+    environment (the hooks are overwritten, not chained). *)
 
 val violations : t -> violation list
-(** Oldest first. *)
+(** Oldest first; at most {!max_logged_violations} entries. *)
 
 val violation_count : t -> int
+(** Logged violations (bounded by {!max_logged_violations}). *)
+
+val dropped_violations : t -> int
+(** Violations recorded past the log bound and discarded. *)
+
+val max_logged_violations : int
 
 val state : t -> oid:int -> state option
 (** Current shadow state of object [oid]; [None] if never observed. *)

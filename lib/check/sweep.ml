@@ -1,13 +1,36 @@
 module W = Workloads
 
-type mutation = No_mutation | Skip_gp
+type mutation =
+  | No_mutation
+  | Skip_gp
+  | Drop_stall
+  | Lose_cb
+  | Free_latent_page
 
-let mutation_name = function No_mutation -> "none" | Skip_gp -> "skip-gp"
+let mutation_name = function
+  | No_mutation -> "none"
+  | Skip_gp -> "skip-gp"
+  | Drop_stall -> "drop-stall"
+  | Lose_cb -> "lose-cb"
+  | Free_latent_page -> "free-latent-page"
 
 let mutation_of_string = function
   | "none" -> Some No_mutation
   | "skip-gp" | "skip_gp" -> Some Skip_gp
+  | "drop-stall" | "drop_stall" -> Some Drop_stall
+  | "lose-cb" | "lose_cb" -> Some Lose_cb
+  | "free-latent-page" | "free_latent_page" -> Some Free_latent_page
   | _ -> None
+
+let all_mutations = [ Skip_gp; Drop_stall; Lose_cb; Free_latent_page ]
+
+type oracles = {
+  page_reuse : bool;
+  missed_qs : bool;
+  cb_conservation : bool;
+}
+
+let all_oracles = { page_reuse = true; missed_qs = true; cb_conservation = true }
 
 type config = {
   scenarios : W.Chaos.scenario list;
@@ -19,6 +42,8 @@ type config = {
   duration_ns : int;
   total_pages : int;
   mutation : mutation;
+  oracles : oracles;
+  plan : Faults.Plan.t option;
 }
 
 let default_config =
@@ -32,7 +57,16 @@ let default_config =
     duration_ns = Sim.Clock.ms 50;
     total_pages = 8_192;
     mutation = No_mutation;
+    oracles = all_oracles;
+    plan = None;
   }
+
+(* The armed stall-detector timeout scales with the run so it can actually
+   fire inside short sweeps (the chaos CLI default of 200 ms never would);
+   the missed-QS oracle bound sits at twice the timeout, so on unmutated
+   runs a warning always exists before the oracle looks. *)
+let stall_timeout_ns cfg = max 1 (cfg.duration_ns / 8)
+let stall_bound_ns cfg = 2 * stall_timeout_ns cfg
 
 type case = {
   scenario : W.Chaos.scenario;
@@ -44,21 +78,26 @@ type verdict = {
   case : case;
   oracle_violations : Shadow.violation list;
   reader_violations : string list;
+  stall_violations : string list;
+  cb_violations : string list;
   audit_failures : string list;
+  dropped_violations : int;
   oracle_events : int;
   updates : int;
   survived : bool;
   replay : string;
+  features : int list;
 }
 
 let ok v =
   v.oracle_violations = [] && v.reader_violations = []
-  && v.audit_failures = []
+  && v.stall_violations = [] && v.cb_violations = []
+  && v.audit_failures = [] && v.dropped_violations = 0
 
 let replay_command cfg case =
   Printf.sprintf
     "prudence-repro check %s --alloc=%s --seed=%d --shuffle-seed=%d \
-     --sweeps=1 --cpus=%d --duration-ms=%d --pages=%d%s"
+     --sweeps=1 --cpus=%d --duration-ms=%d --pages=%d%s%s"
     (W.Chaos.scenario_name case.scenario)
     (W.Env.kind_label case.kind)
     cfg.seed case.shuffle_seed cfg.cpus
@@ -67,6 +106,9 @@ let replay_command cfg case =
     (match cfg.mutation with
     | No_mutation -> ""
     | m -> " --mutate=" ^ mutation_name m)
+    (match cfg.plan with
+    | None -> ""
+    | Some p -> Printf.sprintf " --plan='%s'" (Faults.Plan.to_compact p))
 
 let chaos_config cfg scenario =
   {
@@ -77,11 +119,15 @@ let chaos_config cfg scenario =
     total_pages = cfg.total_pages;
   }
 
+let plan_for cfg case =
+  match cfg.plan with
+  | Some p -> p
+  | None -> W.Chaos.plan_for (chaos_config cfg case.scenario)
+
 (* Mirrors [Workloads.Chaos.run_one] — same fault plan, same mitigations —
    but with the shuffled tie-break installed and the full verification
-   stack (shadow oracle + auditors) armed. *)
-let run_case cfg case =
-  let ccfg = chaos_config cfg case.scenario in
+   stack (shadow oracle + pattern oracles + auditors) armed. *)
+let run_case ?coverage cfg case =
   let env_cfg =
     {
       W.Env.default_config with
@@ -90,6 +136,10 @@ let run_case cfg case =
       seed = cfg.seed;
       tiebreak = Sim.Engine.Shuffle case.shuffle_seed;
       total_pages = cfg.total_pages;
+      (* Coverage's trace-adjacency feed needs a live tracer; the sink
+         sees every event regardless of ring retention, so the ring can
+         stay small. *)
+      trace = (match coverage with Some _ -> Some 1_024 | None -> None);
       rcu_config =
         {
           Rcu.default_config with
@@ -97,7 +147,12 @@ let run_case cfg case =
           expedited_blimit = 300;
           softirq_period_ns = 1_000_000;
           qhimark = max_int;
-          stall_timeout_ns = Some ccfg.W.Chaos.stall_timeout_ns;
+          stall_timeout_ns =
+            (match cfg.mutation with
+            | Drop_stall -> None
+            | _ -> Some (stall_timeout_ns cfg));
+          unsafe_lose_cb_every =
+            (match cfg.mutation with Lose_cb -> Some 64 | _ -> None);
         };
       prudence_config =
         {
@@ -112,27 +167,65 @@ let run_case cfg case =
     }
   in
   let env = W.Env.build env_cfg in
-  let oracle = Shadow.install env in
+  let oracle =
+    Shadow.install ~page_reuse:cfg.oracles.page_reuse ?coverage env
+  in
+  let orc =
+    Oracles.install
+      {
+        Oracles.missed_qs = cfg.oracles.missed_qs;
+        cb_conservation = cfg.oracles.cb_conservation;
+        stall_bound_ns = stall_bound_ns cfg;
+      }
+      env
+  in
   env.W.Env.fenv.Slab.Frame.grow_retry <-
     Some { Slab.Frame.max_retries = 6; base_backoff_ns = 10_000 };
+  env.W.Env.fenv.Slab.Frame.unsafe_destroy_latent <-
+    cfg.mutation = Free_latent_page;
+  let engine = Sim.Machine.engine env.W.Env.machine in
+  (match coverage with
+  | Some cov ->
+      Trace.set_sink env.W.Env.tracer
+        (Some
+           (fun ~cpu ~kind ->
+             Coverage.note_trace cov ~cpu
+               ~kind_index:(Trace.Event.kind_index kind)));
+      Sim.Engine.set_observer engine
+        (Some
+           (fun ~time ->
+             Coverage.note_event cov ~time;
+             Oracles.poll_stall orc))
+  | None ->
+      if cfg.oracles.missed_qs then
+        Sim.Engine.set_observer engine
+          (Some (fun ~time:_ -> Oracles.poll_stall orc)));
   ignore
-    (Faults.Injector.install ~pressure:env.W.Env.pressure
-       (W.Chaos.plan_for ccfg) ~machine:env.W.Env.machine
-       ~buddy:env.W.Env.buddy ~rcu:env.W.Env.rcu);
+    (Faults.Injector.install ~pressure:env.W.Env.pressure (plan_for cfg case)
+       ~machine:env.W.Env.machine ~buddy:env.W.Env.buddy ~rcu:env.W.Env.rcu);
   let r =
     W.Endurance.run env
       { W.Endurance.default_config with
         W.Endurance.duration_ns = cfg.duration_ns }
   in
+  Oracles.finalize orc;
+  (match coverage with Some cov -> Coverage.finish cov | None -> ());
   {
     case;
     oracle_violations = Shadow.violations oracle;
     reader_violations = W.Env.safety_violations env;
+    stall_violations = Oracles.stall_violations orc;
+    cb_violations = Oracles.cb_violations orc;
     audit_failures = Audit.env env;
+    dropped_violations =
+      Shadow.dropped_violations oracle
+      + Rcu.Readers.dropped_violations env.W.Env.readers
+      + Oracles.dropped_violations orc;
     oracle_events = Shadow.events oracle;
     updates = r.W.Endurance.updates;
     survived = r.W.Endurance.oom_at_ns = None;
     replay = replay_command cfg case;
+    features = (match coverage with Some cov -> Coverage.features cov | None -> []);
   }
 
 let cases cfg =
@@ -175,7 +268,12 @@ let pp_verdict ppf v =
     in
     capped "oracle" Shadow.describe v.oracle_violations;
     capped "reader-checker" Fun.id v.reader_violations;
+    capped "stall-oracle" Fun.id v.stall_violations;
+    capped "cb-oracle" Fun.id v.cb_violations;
     capped "audit" Fun.id v.audit_failures;
+    if v.dropped_violations > 0 then
+      Format.fprintf ppf "@,(plus %d violation(s) past the log bound)"
+        v.dropped_violations;
     Format.fprintf ppf "@,replay: %s@]" v.replay
   end
 

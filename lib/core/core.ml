@@ -12,6 +12,7 @@ module Mem = Mem
 module Rcu = Rcu
 module Slab = Slab
 module Prudence = Prudence
+module Faults = Faults
 module Rcudata = Rcudata
 module Workloads = Workloads
 module Check = Check

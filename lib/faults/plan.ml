@@ -39,3 +39,239 @@ let pp_spec fmt = function
 let pp fmt t =
   Format.fprintf fmt "fault plan (seed=%d):" t.seed;
   List.iter (fun s -> Format.fprintf fmt "@.  %a" pp_spec s) t.specs
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+let validate_spec ~cpus ~duration_ns:_ = function
+  | Stalled_reader { cpu; at_ns; hold_ns } ->
+      if cpu < 0 || cpu >= cpus then Error "stalled-reader: cpu out of range"
+      else if at_ns < 0 then Error "stalled-reader: negative at_ns"
+      else if (match hold_ns with Some h -> h <= 0 | None -> false) then
+        Error "stalled-reader: non-positive hold_ns"
+      else Ok ()
+  | Cpu_stall { cpu; at_ns; duration_ns = d } ->
+      if cpu < 0 || cpu >= cpus then Error "cpu-stall: cpu out of range"
+      else if at_ns < 0 then Error "cpu-stall: negative at_ns"
+      else if d <= 0 then Error "cpu-stall: non-positive duration"
+      else Ok ()
+  | Alloc_fault { at_ns; duration_ns = d; fail_prob } ->
+      if at_ns < 0 then Error "alloc-fault: negative at_ns"
+      else if d <= 0 then Error "alloc-fault: non-positive duration"
+      else if not (fail_prob >= 0. && fail_prob <= 1.) then
+        Error "alloc-fault: fail_prob outside [0,1]"
+      else Ok ()
+  | Pressure_spike { at_ns; duration_ns = d; pages } ->
+      if at_ns < 0 then Error "pressure-spike: negative at_ns"
+      else if d <= 0 then Error "pressure-spike: non-positive duration"
+      else if pages <= 0 then Error "pressure-spike: non-positive pages"
+      else Ok ()
+  | Cb_flood { cpu; at_ns; duration_ns = d; per_ms } ->
+      if cpu < 0 || cpu >= cpus then Error "cb-flood: cpu out of range"
+      else if at_ns < 0 then Error "cb-flood: negative at_ns"
+      else if d <= 0 then Error "cb-flood: non-positive duration"
+      else if per_ms <= 0 then Error "cb-flood: non-positive rate"
+      else Ok ()
+
+let validate ~cpus ~duration_ns t =
+  if cpus <= 0 then Error "non-positive cpu count"
+  else if duration_ns <= 0 then Error "non-positive duration"
+  else
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> validate_spec ~cpus ~duration_ns s)
+      (Ok ()) t.specs
+
+(* ------------------------------------------------------------------ *)
+(* Compact (CLI-safe) serialization                                    *)
+
+let float_to_string f =
+  (* Shortest representation that round-trips. *)
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let spec_to_compact = function
+  | Stalled_reader { cpu; at_ns; hold_ns } ->
+      Printf.sprintf "sr,%d,%d,%s" cpu at_ns
+        (match hold_ns with Some h -> string_of_int h | None -> "-")
+  | Cpu_stall { cpu; at_ns; duration_ns } ->
+      Printf.sprintf "cs,%d,%d,%d" cpu at_ns duration_ns
+  | Alloc_fault { at_ns; duration_ns; fail_prob } ->
+      Printf.sprintf "af,%d,%d,%s" at_ns duration_ns (float_to_string fail_prob)
+  | Pressure_spike { at_ns; duration_ns; pages } ->
+      Printf.sprintf "ps,%d,%d,%d" at_ns duration_ns pages
+  | Cb_flood { cpu; at_ns; duration_ns; per_ms } ->
+      Printf.sprintf "cf,%d,%d,%d,%d" cpu at_ns duration_ns per_ms
+
+let to_compact t =
+  string_of_int t.seed
+  ^ ":"
+  ^ String.concat ";" (List.map spec_to_compact t.specs)
+
+let spec_of_compact s =
+  let fail () = Error (Printf.sprintf "bad fault spec %S" s) in
+  let int_of x = int_of_string_opt x in
+  match String.split_on_char ',' s with
+  | [ "sr"; cpu; at; hold ] -> (
+      let hold_ns =
+        if hold = "-" then Some None
+        else match int_of hold with Some h -> Some (Some h) | None -> None
+      in
+      match (int_of cpu, int_of at, hold_ns) with
+      | Some cpu, Some at_ns, Some hold_ns ->
+          Ok (Stalled_reader { cpu; at_ns; hold_ns })
+      | _ -> fail ())
+  | [ "cs"; cpu; at; d ] -> (
+      match (int_of cpu, int_of at, int_of d) with
+      | Some cpu, Some at_ns, Some duration_ns ->
+          Ok (Cpu_stall { cpu; at_ns; duration_ns })
+      | _ -> fail ())
+  | [ "af"; at; d; p ] -> (
+      match (int_of at, int_of d, float_of_string_opt p) with
+      | Some at_ns, Some duration_ns, Some fail_prob ->
+          Ok (Alloc_fault { at_ns; duration_ns; fail_prob })
+      | _ -> fail ())
+  | [ "ps"; at; d; pages ] -> (
+      match (int_of at, int_of d, int_of pages) with
+      | Some at_ns, Some duration_ns, Some pages ->
+          Ok (Pressure_spike { at_ns; duration_ns; pages })
+      | _ -> fail ())
+  | [ "cf"; cpu; at; d; rate ] -> (
+      match (int_of cpu, int_of at, int_of d, int_of rate) with
+      | Some cpu, Some at_ns, Some duration_ns, Some per_ms ->
+          Ok (Cb_flood { cpu; at_ns; duration_ns; per_ms })
+      | _ -> fail ())
+  | _ -> fail ()
+
+let of_compact s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad plan %S: missing ':'" s)
+  | Some i -> (
+      let seed_s = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt seed_s with
+      | None -> Error (Printf.sprintf "bad plan seed %S" seed_s)
+      | Some seed ->
+          let parts =
+            if rest = "" then []
+            else String.split_on_char ';' rest
+          in
+          let rec build acc = function
+            | [] -> Ok { seed; specs = List.rev acc }
+            | p :: tl -> (
+                match spec_of_compact p with
+                | Ok spec -> build (spec :: acc) tl
+                | Error _ as e -> e)
+          in
+          build [] parts)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic mutation                                              *)
+
+let clamp lo hi x = max lo (min hi x)
+
+(* Jitter a time by up to ±12.5% of the run, staying in bounds. *)
+let jitter_time rng ~duration_ns at_ns =
+  let span = max 1 (duration_ns / 8) in
+  clamp 0 (duration_ns - 1) (at_ns + Sim.Rng.int_in rng (-span) span)
+
+let mutate_spec rng ~cpus ~duration_ns spec =
+  let pick_cpu () = Sim.Rng.int rng cpus in
+  match spec with
+  | Stalled_reader { cpu; at_ns; hold_ns } -> (
+      match Sim.Rng.int rng 3 with
+      | 0 -> Stalled_reader { cpu; at_ns = jitter_time rng ~duration_ns at_ns; hold_ns }
+      | 1 -> Stalled_reader { cpu = pick_cpu (); at_ns; hold_ns }
+      | _ ->
+          let hold_ns =
+            match hold_ns with
+            | None -> Some (max 1 (duration_ns / 2))
+            | Some h ->
+                if Sim.Rng.bool rng then None
+                else Some (clamp 1 duration_ns (h + Sim.Rng.int_in rng (-h / 2) (h / 2)))
+          in
+          Stalled_reader { cpu; at_ns; hold_ns })
+  | Cpu_stall { cpu; at_ns; duration_ns = d } -> (
+      match Sim.Rng.int rng 3 with
+      | 0 -> Cpu_stall { cpu; at_ns = jitter_time rng ~duration_ns at_ns; duration_ns = d }
+      | 1 -> Cpu_stall { cpu = pick_cpu (); at_ns; duration_ns = d }
+      | _ ->
+          Cpu_stall
+            { cpu; at_ns; duration_ns = clamp 1 duration_ns (d + Sim.Rng.int_in rng (-d / 2) d) })
+  | Alloc_fault { at_ns; duration_ns = d; fail_prob } -> (
+      match Sim.Rng.int rng 3 with
+      | 0 -> Alloc_fault { at_ns = jitter_time rng ~duration_ns at_ns; duration_ns = d; fail_prob }
+      | 1 ->
+          Alloc_fault
+            { at_ns; duration_ns = clamp 1 duration_ns (d + Sim.Rng.int_in rng (-d / 2) d); fail_prob }
+      | _ ->
+          let p = fail_prob +. (Sim.Rng.float rng 0.5 -. 0.25) in
+          Alloc_fault { at_ns; duration_ns = d; fail_prob = max 0. (min 1. p) })
+  | Pressure_spike { at_ns; duration_ns = d; pages } -> (
+      match Sim.Rng.int rng 3 with
+      | 0 -> Pressure_spike { at_ns = jitter_time rng ~duration_ns at_ns; duration_ns = d; pages }
+      | 1 ->
+          Pressure_spike
+            { at_ns; duration_ns = clamp 1 duration_ns (d + Sim.Rng.int_in rng (-d / 2) d); pages }
+      | _ ->
+          Pressure_spike
+            { at_ns; duration_ns = d; pages = clamp 1 max_int (pages + Sim.Rng.int_in rng (-pages / 2) pages) })
+  | Cb_flood { cpu; at_ns; duration_ns = d; per_ms } -> (
+      match Sim.Rng.int rng 3 with
+      | 0 -> Cb_flood { cpu; at_ns = jitter_time rng ~duration_ns at_ns; duration_ns = d; per_ms }
+      | 1 -> Cb_flood { cpu = pick_cpu (); at_ns; duration_ns = d; per_ms }
+      | _ ->
+          Cb_flood
+            { cpu; at_ns; duration_ns = d; per_ms = clamp 1 100_000 (per_ms + Sim.Rng.int_in rng (-per_ms / 2) per_ms) })
+
+let fresh_spec rng ~cpus ~duration_ns =
+  let cpu = Sim.Rng.int rng cpus in
+  let at_ns = Sim.Rng.int rng duration_ns in
+  let window = max 1 (duration_ns / 4) in
+  match Sim.Rng.int rng 5 with
+  | 0 ->
+      Stalled_reader
+        { cpu; at_ns; hold_ns = (if Sim.Rng.bool rng then None else Some window) }
+  | 1 -> Cpu_stall { cpu; at_ns; duration_ns = window }
+  | 2 -> Alloc_fault { at_ns; duration_ns = window; fail_prob = Sim.Rng.float rng 1.0 }
+  | 3 -> Pressure_spike { at_ns; duration_ns = window; pages = 1 + Sim.Rng.int rng 4096 }
+  | _ -> Cb_flood { cpu; at_ns; duration_ns = window; per_ms = 1 + Sim.Rng.int rng 400 }
+
+let mutate ~salt ~cpus ~duration_ns t =
+  if cpus <= 0 || duration_ns <= 0 then
+    invalid_arg "Faults.Plan.mutate: non-positive cpus/duration";
+  (* Derive the mutation stream from (plan seed, salt) only, so the same
+     (plan, salt) always yields the same mutant. *)
+  let rng = Sim.Rng.create ~seed:((t.seed * 0x9e3779b9) lxor salt) in
+  let n = List.length t.specs in
+  let specs =
+    match Sim.Rng.int rng 4 with
+    | 0 when n > 0 ->
+        (* Drop one spec. *)
+        let victim = Sim.Rng.int rng n in
+        List.filteri (fun i _ -> i <> victim) t.specs
+    | 1 when n > 0 ->
+        (* Duplicate one spec and mutate the copy. *)
+        let idx = Sim.Rng.int rng n in
+        let copy = mutate_spec rng ~cpus ~duration_ns (List.nth t.specs idx) in
+        t.specs @ [ copy ]
+    | 2 ->
+        (* Add a fresh spec. *)
+        t.specs @ [ fresh_spec rng ~cpus ~duration_ns ]
+    | _ when n > 0 ->
+        (* Mutate one spec in place. *)
+        let idx = Sim.Rng.int rng n in
+        List.mapi
+          (fun i s -> if i = idx then mutate_spec rng ~cpus ~duration_ns s else s)
+          t.specs
+    | _ -> t.specs @ [ fresh_spec rng ~cpus ~duration_ns ]
+  in
+  let mutant = { seed = t.seed; specs } in
+  match validate ~cpus ~duration_ns mutant with
+  | Ok () -> mutant
+  | Error msg ->
+      (* Mutations are constructed in-bounds; a validation failure here is
+         a bug in the mutator itself. *)
+      invalid_arg ("Faults.Plan.mutate produced invalid plan: " ^ msg)

@@ -38,3 +38,24 @@ val empty : t
 val spec_name : spec -> string
 val pp_spec : Format.formatter -> spec -> unit
 val pp : Format.formatter -> t -> unit
+
+val validate : cpus:int -> duration_ns:int -> t -> (unit, string) result
+(** Well-formedness against a target stack: every [cpu] in range, times
+    non-negative, windows/rates/probabilities in bounds. A spec whose
+    [at_ns] is at or past [duration_ns] is well-formed but inert (the run
+    ends before it fires) — the minimizer relies on this. *)
+
+val to_compact : t -> string
+(** CLI-safe one-token encoding: ["<seed>:<spec>;<spec>;..."] where each
+    spec is e.g. [sr,cpu,at,hold|-], [cs,cpu,at,dur], [af,at,dur,prob],
+    [ps,at,dur,pages], [cf,cpu,at,dur,per_ms]. Round-trips through
+    {!of_compact} exactly (floats use a shortest round-trip form). *)
+
+val of_compact : string -> (t, string) result
+
+val mutate : salt:int -> cpus:int -> duration_ns:int -> t -> t
+(** One deterministic mutation step: jitter a spec's time/window/rate,
+    retarget its CPU, drop, duplicate-and-perturb, or add a fresh spec.
+    The mutation stream is derived from [(t.seed, salt)] only, so the same
+    plan and salt always produce the same mutant; the result always
+    satisfies {!validate}. *)

@@ -16,8 +16,9 @@ type t =
   | Prudence_defer
   | Prudence_scan
   | Prudence_flush
+  | Check_probe
 
-let count = 17
+let count = 18
 
 let index = function
   | Engine_dispatch -> 0
@@ -37,6 +38,7 @@ let index = function
   | Prudence_defer -> 14
   | Prudence_scan -> 15
   | Prudence_flush -> 16
+  | Check_probe -> 17
 
 let of_index = function
   | 0 -> Engine_dispatch
@@ -56,6 +58,7 @@ let of_index = function
   | 14 -> Prudence_defer
   | 15 -> Prudence_scan
   | 16 -> Prudence_flush
+  | 17 -> Check_probe
   | i -> invalid_arg (Printf.sprintf "Prof.Span.of_index %d" i)
 
 let all = List.init count of_index
@@ -78,6 +81,7 @@ let name = function
   | Prudence_defer -> "prudence.defer"
   | Prudence_scan -> "prudence.scan"
   | Prudence_flush -> "prudence.flush"
+  | Check_probe -> "check.probe"
 
 let subsystem s =
   let n = name s in

@@ -23,6 +23,7 @@ type t =
   | Prudence_defer  (** Prudence deferred free (latent-cache path). *)
   | Prudence_scan  (** Ripeness scan of node latent-slab heads. *)
   | Prudence_flush  (** Emergency reclaim under Critical pressure. *)
+  | Check_probe  (** Shadow-heap oracle probe handlers (checker overhead). *)
 
 val count : int
 (** Number of spans; [index] is a bijection onto [0..count-1]. *)

@@ -6,6 +6,7 @@ type config = {
   enqueue_cost_ns : int;
   invoke_cost_ns : int;
   stall_timeout_ns : int option;
+  unsafe_lose_cb_every : int option;
 }
 
 let default_config =
@@ -26,6 +27,10 @@ let default_config =
        detector adds daemon events, so keeping it off preserves existing
        schedules byte-for-byte. *)
     stall_timeout_ns = None;
+    (* Mutation knob for the checker's callback-conservation oracle: when
+       [Some n], every n-th call_rcu callback is silently dropped from its
+       Cblist (the accounting still runs). Never set outside self-tests. *)
+    unsafe_lose_cb_every = None;
   }
 
 type stats = {
@@ -72,6 +77,8 @@ type t = {
   mutable s_expedited_transitions : int;
   mutable s_stall_warnings : int;
   mutable stall_log : stall_warning list; (* newest first *)
+  mutable s_cbs_lost : int;
+  mutable lose_tick : int;
 }
 
 let machine t = t.machine
@@ -232,7 +239,19 @@ let request_gp t =
 let call_rcu t (cpu : Sim.Machine.cpu) fn =
   let cookie = snapshot t in
   let pc = t.percpu.(cpu.id) in
-  Cblist.enqueue pc.cbs ~cookie fn;
+  let lost =
+    match t.cfg.unsafe_lose_cb_every with
+    | None -> false
+    | Some n ->
+        t.lose_tick <- t.lose_tick + 1;
+        t.lose_tick mod n = 0
+  in
+  (* The injected bug: the callback vanishes between the accounting and the
+     segmented list, exactly like a lost-cell race in a lockless cblist.
+     Everything else (cost, pending, queued stats, trace) proceeds, so only
+     a conservation check across the lists can tell. *)
+  if lost then t.s_cbs_lost <- t.s_cbs_lost + 1
+  else Cblist.enqueue pc.cbs ~cookie fn;
   (let tr = tracer t in
    if Trace.enabled tr then
      Trace.emit tr ~time:(now t) ~cpu:cpu.id ~arg:cookie
@@ -298,6 +317,19 @@ let stats t =
   }
 
 let stall_warnings t = List.rev t.stall_log
+let last_stall t = match t.stall_log with [] -> None | s :: _ -> Some s
+
+let holdout_cpus t =
+  if not t.gp_active then []
+  else begin
+    let holdouts = ref [] in
+    for i = Array.length t.qs_needed - 1 downto 0 do
+      if t.qs_needed.(i) then holdouts := i :: !holdouts
+    done;
+    !holdouts
+  end
+let gp_seq t = t.s_gps_started
+let lost_callbacks t = t.s_cbs_lost
 
 let pp_stats fmt s =
   Format.fprintf fmt
@@ -341,6 +373,8 @@ let create ?(config = default_config) machine =
       s_expedited_transitions = 0;
       s_stall_warnings = 0;
       stall_log = [];
+      s_cbs_lost = 0;
+      lose_tick = 0;
     }
   in
   Sim.Machine.on_context_switch machine (fun cpu -> quiescent_state t cpu);

@@ -39,6 +39,14 @@ type config = {
           period is still active this long after starting, a warning is
           recorded naming the holdout CPUs, and the check re-arms.
           [None] (default) disables detection entirely. *)
+  unsafe_lose_cb_every : int option;
+      (** Checker mutation knob: when [Some n], every n-th {!call_rcu}
+          callback is silently dropped from its per-CPU list while all the
+          accounting (cost, pending, queued stats, trace) still runs —
+          modelling a lost-cell race in a lockless callback list. The
+          dropped object is never released, so only a conservation check
+          (queued = invoked + in-list) can tell. [None] (default) for every
+          real run; set only by [--mutate=lose-cb] self-tests. *)
 }
 
 val default_config : config
@@ -147,3 +155,18 @@ val stall_warnings : t -> stall_warning list
 (** All stall warnings recorded so far, oldest first. Empty unless
     [config.stall_timeout_ns] is set. Each warning also emits one
     [Rcu_stall] trace event per holdout CPU when tracing is armed. *)
+
+val last_stall : t -> stall_warning option
+(** Newest stall warning, O(1); the missed-QS oracle polls this. *)
+
+val holdout_cpus : t -> int list
+(** CPUs the in-progress grace period is still waiting on (ascending);
+    [[]] when no grace period is active. *)
+
+val gp_seq : t -> int
+(** Sequence number of the most recently started grace period
+    (= started count); identifies the current grace period while
+    {!gp_active}. *)
+
+val lost_callbacks : t -> int
+(** Callbacks dropped by [unsafe_lose_cb_every]; 0 on any real run. *)

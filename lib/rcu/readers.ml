@@ -2,9 +2,15 @@ type t = {
   rcu : Gp.t;
   refs : (int, int) Hashtbl.t; (* oid -> total refcount *)
   per_cpu_held : int list array; (* oids held by the open section on a CPU *)
-  mutable violation_log : string list; (* reversed *)
+  mutable violation_log : string list; (* reversed; first K kept *)
+  mutable logged : int;
+  mutable dropped : int;
   mutable access_hook : (cpu:int -> oid:int -> unit) option;
 }
+
+(* Bound the log so a badly mutated run inside a long fuzz session cannot
+   grow memory without bound; the count of what was cut is kept. *)
+let max_logged_violations = 64
 
 let create rcu =
   {
@@ -12,6 +18,8 @@ let create rcu =
     refs = Hashtbl.create 512;
     per_cpu_held = Array.make (Sim.Machine.nr_cpus (Gp.machine rcu)) [];
     violation_log = [];
+    logged = 0;
+    dropped = 0;
     access_hook = None;
   }
 
@@ -19,8 +27,15 @@ let set_access_hook t hook = t.access_hook <- hook
 
 let rcu t = t.rcu
 
-let record_violation t msg = t.violation_log <- msg :: t.violation_log
+let record_violation t msg =
+  if t.logged < max_logged_violations then begin
+    t.violation_log <- msg :: t.violation_log;
+    t.logged <- t.logged + 1
+  end
+  else t.dropped <- t.dropped + 1
+
 let violations t = List.rev t.violation_log
+let dropped_violations t = t.dropped
 
 let refcount t ~oid =
   match Hashtbl.find_opt t.refs oid with None -> 0 | Some n -> n

@@ -47,7 +47,14 @@ val check_reusable : t -> oid:int -> where:string -> unit
 
 val record_violation : t -> string -> unit
 val violations : t -> string list
-(** Recorded violations, oldest first. *)
+(** Recorded violations, oldest first. Bounded: only the first
+    {!max_logged_violations} are kept; see {!dropped_violations}. *)
+
+val dropped_violations : t -> int
+(** Violations recorded past the log bound and discarded. *)
+
+val max_logged_violations : int
+(** Log bound (first-K retention). *)
 
 val set_access_hook : t -> (cpu:int -> oid:int -> unit) option -> unit
 (** Install a probe fired on every {!hold} (a reader dereferencing object

@@ -26,6 +26,7 @@ and t = {
   queue : event Heap.t;
   rng : Rng.t;
   mutable prof : Prof.t;
+  mutable observer : (time:int -> unit) option;
 }
 
 type handle = event
@@ -81,6 +82,7 @@ let create ?(seed = 42) ?(tiebreak = Fifo) () =
     queue = Heap.create ~cmp:compare_events ();
     rng = Rng.create ~seed;
     prof = Prof.null;
+    observer = None;
   }
 
 let now t = t.now
@@ -88,6 +90,7 @@ let rng t = t.rng
 let tiebreak t = t.tiebreak
 let prof t = t.prof
 let set_prof t prof = t.prof <- prof
+let set_observer t obs = t.observer <- obs
 
 let schedule_at ?(daemon = false) t ~time fn =
   if time < t.now then
@@ -153,7 +156,11 @@ let exec t ev =
       t.executed <- t.executed + 1;
       Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_dispatch;
       ev.fn ();
-      Prof.exit t.prof Prof.Span.Engine_dispatch
+      Prof.exit t.prof Prof.Span.Engine_dispatch;
+      (* Observation only, after the event ran: the observer consumes no
+         seq numbers and schedules nothing, so a run with one installed is
+         event-for-event identical to a run without. *)
+      (match t.observer with None -> () | Some f -> f ~time:ev.time)
 
 let pop_profiled t =
   Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_heap_pop;

@@ -48,6 +48,13 @@ val set_prof : t -> Prof.t -> unit
     [engine.schedule] / [engine.heap_pop] spans around event execution,
     scheduling, and heap pops. *)
 
+val set_observer : t -> (time:int -> unit) option -> unit
+(** Install (or clear) a per-executed-event observer, called with the
+    event's virtual time after its handler returns. Pure observation for
+    coverage signals: the observer runs outside the scheduling path,
+    consumes no sequence numbers, and must not schedule events — so an
+    observed run is event-for-event identical to an unobserved one. *)
+
 val schedule : ?daemon:bool -> t -> after:int -> (unit -> unit) -> handle
 (** [schedule t ~after fn] runs [fn] at time [now t + after].
     [after] must be non-negative. [daemon] (default false) marks

@@ -5,6 +5,7 @@ type probe = {
   on_free : oid:int -> unit;
   on_defer : oid:int -> cookie:int -> unit;
   on_pool : oid:int -> cookie:int -> unit;
+  on_page_release : oids:(int * int) list -> unit;
 }
 
 type env = {
@@ -21,6 +22,7 @@ type env = {
   mutable probe : probe option;
   mutable grow_retry : grow_retry_policy option;
   mutable debug_checks : bool;
+  mutable unsafe_destroy_latent : bool;
   mutable next_oid : int;
   mutable next_sid : int;
 }
@@ -37,6 +39,7 @@ let make_env ?pressure ?(costs = Costs.default) ?(debug_checks = true) machine
     probe = None;
     grow_retry = None;
     debug_checks;
+    unsafe_destroy_latent = false;
     next_oid = 0;
     next_sid = 0;
   }
@@ -609,7 +612,28 @@ let grow cache (cpu : Sim.Machine.cpu) =
   r
 
 let destroy_slab cache slab =
-  assert (truly_free slab);
+  assert (truly_free slab
+         || (cache.env.unsafe_destroy_latent && slab.in_flight = 0));
+  (* The page-reuse boundary: report objects still deferred on this page
+     before it goes back to the buddy. Empty on every non-mutated run
+     (truly-free slabs have no latent objects). *)
+  (match cache.env.probe with
+  | Some p when slab.latent_n > 0 ->
+      let oids = ref [] in
+      Latq.iter (fun o -> oids := (o.oid, o.gp_cookie) :: !oids) slab.latent_objs;
+      p.on_page_release ~oids:!oids
+  | Some _ | None -> ());
+  (* Scrub the latent bookkeeping the mutated path orphans, so the cache
+     counters stay conserved and only the page-level oracle can tell. *)
+  if slab.latent_n > 0 then begin
+    cache.latent_count <- cache.latent_count - slab.latent_n;
+    slab.latent_n <- 0;
+    (match slab.latent_link with
+    | Some link ->
+        Sim.Dlist.remove cache.nodes.(slab.node_id).latent_slabs link;
+        slab.latent_link <- None
+    | None -> ())
+  end;
   unlink cache slab;
   Mem.Buddy.free cache.env.buddy slab.block;
   cache.total_slabs <- cache.total_slabs - 1;
@@ -632,7 +656,12 @@ let shrink_node ?keep cache (cpu : Sim.Machine.cpu) node =
        the free list are skipped. *)
     let candidates = ref [] in
     Sim.Dlist.iter
-      (fun s -> if truly_free s then candidates := s :: !candidates)
+      (fun s ->
+        if
+          truly_free s
+          || (cache.env.unsafe_destroy_latent && s.in_flight = 0
+             && s.latent_n > 0)
+        then candidates := s :: !candidates)
       node.free_slabs;
     let rec destroy = function
       | [] -> ()

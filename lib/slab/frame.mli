@@ -35,6 +35,12 @@ type probe = {
           the reuse boundary a deferred object must not cross before its
           grace period completes. [cookie] is the object's current
           grace-period stamp. *)
+  on_page_release : oids:(int * int) list -> unit;
+      (** The slab's page is about to return to the buddy allocator;
+          [oids] lists [(oid, gp_cookie)] for every object on the page
+          still in a latent (deferred) state. Empty on every legal
+          destroy — a non-empty list is the premature page-reuse bug
+          class the page-level oracle checks. *)
 }
 (** Verification probes for the shadow-heap safety oracle ([Check.Oracle]).
     All off ([None]) by default: the probe record is consulted per event
@@ -62,6 +68,13 @@ type env = {
       (** Whether {!check_invariants}' O(objects) sweep runs (default
           [true]; benchmarks turn it off so the measured hot paths are
           the production ones). *)
+  mutable unsafe_destroy_latent : bool;
+      (** Checker mutation knob (default [false]): lets {!shrink_node}
+          destroy pre-moved slabs whose objects are all latent — returning
+          a page to the buddy while objects on it may still be inside
+          their grace period. The destroy path scrubs the latent counters,
+          so only the {!probe}'s [on_page_release] hook can tell. Never
+          set outside [--mutate=free-latent-page] self-tests. *)
   mutable next_oid : int;
   mutable next_sid : int;
 }

@@ -36,6 +36,34 @@ type t = {
           retry ordinal (grow_retry); 0 otherwise *)
 }
 
+let kind_count = 24
+
+let kind_index = function
+  | Alloc_hit -> 0
+  | Alloc_miss -> 1
+  | Refill -> 2
+  | Flush -> 3
+  | Grow -> 4
+  | Shrink -> 5
+  | Defer_free -> 6
+  | Latent_merge -> 7
+  | Premove -> 8
+  | Preflush -> 9
+  | Gp_start -> 10
+  | Gp_end -> 11
+  | Cb_enqueue -> 12
+  | Cb_invoke -> 13
+  | Lock_acquire -> 14
+  | Lock_contended -> 15
+  | Idle_start -> 16
+  | Idle_end -> 17
+  | Ctx_switch -> 18
+  | Oom -> 19
+  | Rcu_stall -> 20
+  | Fault_inject -> 21
+  | Grow_retry -> 22
+  | Emergency_flush -> 23
+
 let kind_name = function
   | Alloc_hit -> "alloc-hit"
   | Alloc_miss -> "alloc-miss"

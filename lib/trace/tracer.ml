@@ -8,6 +8,8 @@ type t = {
   gp_latency : Hist.t;
   lock_wait : Hist.t;
   alloc_cost : Hist.t;
+  mutable sink : (cpu:int -> kind:Event.kind -> unit) option;
+      (* live tap on the event stream, independent of ring retention *)
 }
 
 let default_ring_capacity = 65_536
@@ -22,6 +24,7 @@ let create ?(ring_capacity = default_ring_capacity) ~ncpus () =
     gp_latency = Hist.create ();
     lock_wait = Hist.create ();
     alloc_cost = Hist.create ();
+    sink = None;
   }
 
 let null =
@@ -33,13 +36,20 @@ let null =
     gp_latency = Hist.create ();
     lock_wait = Hist.create ();
     alloc_cost = Hist.create ();
+    sink = None;
   }
 
 let enabled t = t.enabled
 let ncpus t = t.ncpus
 
+let set_sink t sink =
+  if not t.enabled then
+    invalid_arg "Tracer.set_sink: cannot attach a sink to the null tracer";
+  t.sink <- sink
+
 let emit t ~time ~cpu ?(label = "") ?(arg = 0) kind =
   if t.enabled then begin
+    (match t.sink with None -> () | Some f -> f ~cpu ~kind);
     let ring =
       if cpu >= 0 && cpu < t.ncpus then t.rings.(cpu) else t.rings.(t.ncpus)
     in

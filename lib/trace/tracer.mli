@@ -26,6 +26,13 @@ val emit :
 (** Append an event stamped with virtual [time] on [cpu] ([-1] for
     machine-global events). No-op when disabled. *)
 
+val set_sink : t -> (cpu:int -> kind:Event.kind -> unit) option -> unit
+(** Install (or clear) a live tap called on every emitted event before it
+    is pushed to a ring — independent of ring retention, so the coverage
+    signal sees the full stream even with a tiny ring. The sink must be
+    pure observation. Raises [Invalid_argument] on the {!null} tracer
+    (it is a shared global and never emits anyway). *)
+
 (** {1 Histograms} *)
 
 val record_lifetime : t -> int -> unit
