@@ -112,32 +112,65 @@ let parse_scenarios names =
             exit 2)
       names
 
-let run_chaos names ring p =
-  if ring <= 0 then begin
-    Format.eprintf "--ring must be positive (got %d)@." ring;
-    exit 2
-  end;
-  let scenarios = parse_scenarios names in
-  let cp =
-    {
-      Core.Chaos.seed = p.Core.Experiments.seed;
-      cpus = p.Core.Experiments.cpus;
-      scale = p.Core.Experiments.scale;
-      ring;
-    }
-  in
-  Core.Metrics.Report.print Format.std_formatter (Core.Chaos.report cp scenarios);
-  0
-
 let parse_kinds alloc =
   match alloc with
   | "both" -> [ Core.Workloads.Env.Baseline; Core.Workloads.Env.Prudence_alloc ]
+  | "all" -> Core.Workloads.Env.all_kinds
   | s -> (
       match Core.Workloads.Env.kind_of_string s with
       | Some k -> [ k ]
       | None ->
-          Format.eprintf "unknown allocator %S (slub, prudence, both)@." s;
+          Format.eprintf
+            "unknown allocator %S (slub, prudence, ebr-debra, hyaline, both, \
+             all)@."
+            s;
           exit 2)
+
+let chaos_params ring p =
+  if ring <= 0 then begin
+    Format.eprintf "--ring must be positive (got %d)@." ring;
+    exit 2
+  end;
+  {
+    Core.Chaos.seed = p.Core.Experiments.seed;
+    cpus = p.Core.Experiments.cpus;
+    scale = p.Core.Experiments.scale;
+    ring;
+  }
+
+let run_chaos names alloc ring p =
+  let scenarios = parse_scenarios names in
+  let kinds = parse_kinds alloc in
+  let cp = chaos_params ring p in
+  Core.Metrics.Report.print Format.std_formatter
+    (Core.Chaos.report ~kinds cp scenarios);
+  0
+
+let run_tournament names alloc ring out p =
+  let module T = Core.Tournament in
+  let scenarios = parse_scenarios names in
+  let kinds = match alloc with "both" | "all" -> Core.Workloads.Env.all_kinds
+    | _ -> parse_kinds alloc
+  in
+  let cp = chaos_params ring p in
+  let cells = T.run ~kinds cp scenarios in
+  Core.Metrics.Report.print Format.std_formatter (T.report_cells kinds cells);
+  (match out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (T.to_ndjson kinds cells));
+      Format.printf "wrote %s (%d scheme rows + summary)@." file
+        (List.length cells));
+  let violations =
+    List.fold_left
+      (fun acc (c : T.cell) ->
+        acc + c.T.outcome.Core.Workloads.Chaos.safety_violations)
+      0 cells
+  in
+  if violations = 0 then 0 else 1
 
 let run_stat alloc duration_ms sample_every capacity watch series format
     registry_table pages scale seed cpus =
@@ -379,11 +412,14 @@ let parse_oracles disabled =
     (fun (o : Sweep.oracles) name ->
       match name with
       | "page-reuse" -> { o with Sweep.page_reuse = false }
+      | "early-reuse" -> { o with Sweep.early_reuse = false }
       | "missed-qs" -> { o with Sweep.missed_qs = false }
       | "cb-conservation" -> { o with Sweep.cb_conservation = false }
       | _ ->
           Format.eprintf
-            "unknown oracle %S (page-reuse, missed-qs, cb-conservation)@." name;
+            "unknown oracle %S (page-reuse, early-reuse, missed-qs, \
+             cb-conservation)@."
+            name;
           exit 2)
     Sweep.all_oracles disabled
 
@@ -511,8 +547,72 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
             ]));
   if failed then 1 else 0
 
+let run_fuzz_differential base fcfg alloc json =
+  let module Fuzz = Core.Check.Fuzz in
+  let module Diff = Core.Check.Differential in
+  let module J = Core.Metrics.Json in
+  let kinds =
+    match alloc with
+    | "both" | "all" -> Core.Workloads.Env.all_kinds
+    | _ -> base.Core.Check.Sweep.kinds
+  in
+  if not json then
+    Format.printf
+      "differential fuzzing: budget %d, fuzz seed %d, %d backend(s) (%s)...@."
+      fcfg.Fuzz.budget fcfg.Fuzz.seed (List.length kinds)
+      (String.concat ", " (List.map Core.Workloads.Env.kind_label kinds));
+  let progress (r : Fuzz.diff_record) =
+    if json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("type", J.Str "diff_case");
+                ("exec", J.Int r.Fuzz.d_exec);
+                ("trace_seed", J.Int r.Fuzz.trace_seed);
+                ("ops", J.Int r.Fuzz.n_ops);
+                ("slots", J.Int r.Fuzz.n_slots);
+                ("gap_ns", J.Int r.Fuzz.gap_ns);
+                ("ok", J.Bool r.Fuzz.result.Diff.ok);
+                ( "mismatches",
+                  J.Int (List.length r.Fuzz.result.Diff.mismatches) );
+              ]))
+    else if not r.Fuzz.result.Diff.ok then
+      Format.printf "  #%-4d trace seed %d (%d ops, %d slots) DIVERGED@."
+        r.Fuzz.d_exec r.Fuzz.trace_seed r.Fuzz.n_ops r.Fuzz.n_slots
+  in
+  let dr = Fuzz.run_differential ~progress ~kinds fcfg in
+  let failed = dr.Fuzz.diff_failure <> None in
+  if json then
+    print_endline
+      (J.to_string
+         (J.Obj
+            [
+              ("type", J.Str "summary");
+              ("mode", J.Str "differential");
+              ("executed", J.Int dr.Fuzz.diff_executed);
+              ("budget", J.Int fcfg.Fuzz.budget);
+              ( "backends",
+                J.List
+                  (List.map
+                     (fun k -> J.Str (Core.Workloads.Env.kind_label k))
+                     kinds) );
+              ("failure", J.Bool failed);
+              ("ok", J.Bool (not failed));
+            ]))
+  else begin
+    Format.printf "@.%d differential case(s) executed across %d backend(s)@."
+      dr.Fuzz.diff_executed (List.length kinds);
+    match dr.Fuzz.diff_failure with
+    | None -> Format.printf "no divergence, every verdict clean.@."
+    | Some r ->
+        Format.printf "divergence at execution %d:@.%a@." r.Fuzz.d_exec
+          Diff.pp_result r.Fuzz.result
+  end;
+  if failed then 1 else 0
+
 let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
-    pages disabled plan no_minimize json seed cpus =
+    pages disabled plan no_minimize differential json seed cpus =
   let module Sweep = Core.Check.Sweep in
   let module Fuzz = Core.Check.Fuzz in
   let module Minimize = Core.Check.Minimize in
@@ -538,6 +638,8 @@ let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
     }
   in
   let fcfg = { Fuzz.base; budget; seed = fuzz_seed; stop_on_failure = true } in
+  if differential then run_fuzz_differential base fcfg alloc json
+  else begin
   if not json then
     Format.printf
       "fuzzing: budget %d, fuzz seed %d, workload seed %d, %d scenario(s) x \
@@ -693,6 +795,7 @@ let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
         Format.printf "@.replay: %s@." replay
       end;
       1
+  end
 
 open Cmdliner
 
@@ -783,6 +886,13 @@ let chaos_cmd =
           ~doc:"Scenarios (clean, stalled-reader, cb-flood, pressure-spike, \
                 alloc-fault) or 'all' (default).")
   in
+  let alloc =
+    let doc =
+      "Reclamation scheme(s): slub, prudence, ebr-debra, hyaline, both \
+       (slub+prudence) or all."
+    in
+    Arg.(value & opt string "both" & info [ "alloc" ] ~docv:"KIND" ~doc)
+  in
   let ring =
     let doc = "Per-CPU event-ring capacity for the GP-latency histogram." in
     Arg.(value & opt int 16_384 & info [ "ring" ] ~docv:"N" ~doc)
@@ -790,10 +900,46 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Run fault-injection scenarios over both allocators and print a \
-          survival/degradation report (RCU stall warnings, grace-period p99, \
-          backoff retries, emergency flushes)")
-    Term.(const run_chaos $ names $ ring $ params_term)
+         "Run fault-injection scenarios over the selected reclamation \
+          schemes and print a survival/degradation report (RCU stall \
+          warnings, grace-period p99, backoff retries, emergency flushes)")
+    Term.(const run_chaos $ names $ alloc $ ring $ params_term)
+
+let tournament_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenarios (clean, stalled-reader, cb-flood, pressure-spike, \
+                alloc-fault) or 'all' (default).")
+  in
+  let alloc =
+    let doc =
+      "Schemes to race: slub, prudence, ebr-debra, hyaline, or all \
+       (default; 'both' also maps to all four here)."
+    in
+    Arg.(value & opt string "all" & info [ "alloc" ] ~docv:"KIND" ~doc)
+  in
+  let ring =
+    let doc = "Per-CPU event-ring capacity for the latency histograms." in
+    Arg.(value & opt int 16_384 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc =
+      "Also write the table as NDJSON to $(docv): one 'scheme' object per \
+       (scenario, scheme) cell plus a trailing 'summary' line."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:
+         "Cross-scheme SMR tournament: run the chaos scenarios under every \
+          reclamation scheme (SLUB callbacks, RCU+Prudence, EBR/DEBRA, \
+          Hyaline) and print one comparison table -- throughput, end-of-run \
+          limbo occupancy, defer-to-reuse latency percentiles, grace-period \
+          p99, OOM resilience; non-zero exit on any safety violation")
+    Term.(const run_tournament $ names $ alloc $ ring $ out $ params_term)
 
 let check_cmd =
   let names =
@@ -804,7 +950,10 @@ let check_cmd =
                 alloc-fault) or 'all' (default).")
   in
   let alloc =
-    let doc = "Allocator(s) to sweep: slub, prudence or both." in
+    let doc =
+      "Allocator/SMR stack(s) to sweep: slub, prudence, ebr-debra, hyaline, \
+       both (slub+prudence) or all."
+    in
     Arg.(value & opt string "both" & info [ "alloc" ] ~docv:"KIND" ~doc)
   in
   let sweeps =
@@ -827,7 +976,11 @@ let check_cmd =
        under pinned grace periods (missed-QS oracle); 'lose-cb' drops \
        every 64th call_rcu callback between accounting and list \
        (conservation oracle); 'free-latent-page' lets the shrinker return \
-       still-deferred pages to the buddy (page-reuse oracle)."
+       still-deferred pages to the buddy (page-reuse oracle); \
+       'skip-epoch-advance' advances the EBR epoch without scanning \
+       reader announcements (early-reuse oracle, --alloc=ebr-debra); \
+       'drop-retire-batch' ripens Hyaline batches while readers still \
+       hold references (early-reuse oracle, --alloc=hyaline)."
     in
     Arg.(value & opt string "none" & info [ "mutate" ] ~docv:"M" ~doc)
   in
@@ -841,9 +994,9 @@ let check_cmd =
   in
   let disable_oracle =
     let doc =
-      "Disable one oracle (page-reuse, missed-qs, cb-conservation); \
-       repeatable. Used by the necessity self-tests: a --mutate run with \
-       its oracle disabled must pass."
+      "Disable one oracle (page-reuse, early-reuse, missed-qs, \
+       cb-conservation); repeatable. Used by the necessity self-tests: a \
+       --mutate run with its oracle disabled must pass."
     in
     Arg.(value & opt_all string [] & info [ "disable-oracle" ] ~docv:"O" ~doc)
   in
@@ -893,7 +1046,10 @@ let fuzz_cmd =
                 alloc-fault) or 'all' (default).")
   in
   let alloc =
-    let doc = "Allocator(s) to fuzz: slub, prudence or both." in
+    let doc =
+      "Allocator/SMR stack(s) to fuzz: slub, prudence, ebr-debra, hyaline, \
+       both (slub+prudence) or all."
+    in
     Arg.(value & opt string "both" & info [ "alloc" ] ~docv:"KIND" ~doc)
   in
   let budget =
@@ -909,9 +1065,9 @@ let fuzz_cmd =
   in
   let mutate =
     let doc =
-      "Inject a bug class (skip-gp, drop-stall, lose-cb, free-latent-page) \
-       so the fuzzer has something to find; used by the guided-vs-brute \
-       self-test."
+      "Inject a bug class (skip-gp, drop-stall, lose-cb, free-latent-page, \
+       skip-epoch-advance, drop-retire-batch) so the fuzzer has something \
+       to find; used by the guided-vs-brute self-test."
     in
     Arg.(value & opt string "none" & info [ "mutate" ] ~docv:"M" ~doc)
   in
@@ -929,8 +1085,8 @@ let fuzz_cmd =
     Arg.(value & opt int 8_192 & info [ "pages" ] ~docv:"N" ~doc)
   in
   let disable_oracle =
-    let doc = "Disable one oracle (page-reuse, missed-qs, cb-conservation); \
-               repeatable." in
+    let doc = "Disable one oracle (page-reuse, early-reuse, missed-qs, \
+               cb-conservation); repeatable." in
     Arg.(value & opt_all string [] & info [ "disable-oracle" ] ~docv:"O" ~doc)
   in
   let plan =
@@ -940,6 +1096,16 @@ let fuzz_cmd =
   let no_minimize =
     let doc = "Report the first failure as-is instead of shrinking it." in
     Arg.(value & flag & info [ "no-minimize" ] ~doc)
+  in
+  let differential =
+    let doc =
+      "Differential mode: instead of the coverage-guided campaign, draw \
+       random op traces from the fuzz RNG and replay each under every \
+       reclamation backend (--alloc=all by default); any divergence in the \
+       backend-independent outcome sequence, or any oracle hit, is a \
+       finding."
+    in
+    Arg.(value & flag & info [ "differential" ] ~doc)
   in
   let json =
     let doc =
@@ -966,7 +1132,7 @@ let fuzz_cmd =
     Term.(
       const run_fuzz $ names $ alloc $ budget $ fuzz_seed $ mutate
       $ shuffle_seed $ duration_ms $ pages $ disable_oracle $ plan
-      $ no_minimize $ json $ seed_arg $ cpus)
+      $ no_minimize $ differential $ json $ seed_arg $ cpus)
 
 let stat_cmd =
   let alloc =
@@ -1136,8 +1302,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
     [
-      list_cmd; run_cmd; trace_cmd; chaos_cmd; check_cmd; fuzz_cmd; stat_cmd;
-      perf_cmd; prof_cmd; regress_cmd;
+      list_cmd; run_cmd; trace_cmd; chaos_cmd; tournament_cmd; check_cmd;
+      fuzz_cmd; stat_cmd; perf_cmd; prof_cmd; regress_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

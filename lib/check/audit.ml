@@ -165,23 +165,23 @@ let slab ~rcu (cache : Slab.Frame.cache) =
       s.Slab.Slab_stats.grows s.Slab.Slab_stats.shrinks cache.total_slabs;
   List.rev !errs
 
-(* Every deferred object's cookie must be a grace period the RCU state
-   could actually have promised: positive, and no newer than the snapshot
-   it would hand out right now (cookies are handed out by [Rcu.snapshot]
-   and that sequence is monotone). *)
-let latent ~rcu (cache : Slab.Frame.cache) =
+(* Every deferred object's cookie must be a reclamation token the SMR
+   state could actually have issued: positive, and no newer than the
+   token a defer right now would receive (tokens are issued by
+   [smr.defer] and that sequence is monotone). *)
+let latent ~smr (cache : Slab.Frame.cache) =
   let errs = ref [] in
   let open Slab.Frame in
-  let horizon = Rcu.snapshot rcu in
+  let horizon = smr.Slab.Smr.snapshot () in
   let check_cookie where (o : objekt) =
     if o.gp_cookie <= 0 then
       err errs "%s: deferred object %d in %s has cookie %d (never stamped?)"
         cache.name o.oid where o.gp_cookie
     else if o.gp_cookie > horizon then
       err errs
-        "%s: deferred object %d in %s waits for grace period %d, newer than \
-         any the RCU state could have promised (snapshot %d)"
-        cache.name o.oid where o.gp_cookie horizon
+        "%s: deferred object %d in %s waits for token %d, newer than any \
+         the %s state could have issued (snapshot %d)"
+        cache.name o.oid where o.gp_cookie smr.Slab.Smr.scheme horizon
   in
   Array.iter
     (fun (pc : pcpu) ->
@@ -207,5 +207,5 @@ let env (e : Workloads.Env.t) =
       acc :=
         !acc
         @ slab ~rcu:e.Workloads.Env.rcu c
-        @ latent ~rcu:e.Workloads.Env.rcu c);
+        @ latent ~smr:e.Workloads.Env.smr c);
   !acc

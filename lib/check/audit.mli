@@ -24,10 +24,11 @@ val slab : rcu:Rcu.t -> Slab.Frame.cache -> string list
     extended-lifetime window); that surplus is bounded by the RCU
     backlog, hence [rcu]. *)
 
-val latent : rcu:Rcu.t -> Slab.Frame.cache -> string list
-(** Latent-cache accounting vs. grace-period epoch state: every deferred
-    object's cookie must lie in the valid window — positive and no newer
-    than the next snapshot the RCU state could hand out. *)
+val latent : smr:Slab.Smr.t -> Slab.Frame.cache -> string list
+(** Latent-cache accounting vs. reclamation-scheme state: every deferred
+    object's token must lie in the valid window — positive and no newer
+    than the next token the SMR state could issue. Pass the truthful
+    view so a frontier-corrupting mutation cannot fool the bound. *)
 
 val env : Workloads.Env.t -> string list
 (** All of the above over the environment: the buddy allocator plus every

@@ -132,8 +132,7 @@ let replay ?(seed = 42) ?(total_pages = 16_384) trace kind =
 type result = {
   ok : bool;
   mismatches : string list;
-  baseline : replay;
-  prudence : replay;
+  replays : replay list;  (* one per kind, in request order *)
 }
 
 let verdict_mismatches r =
@@ -149,31 +148,37 @@ let verdict_mismatches r =
   List.iter (fun s -> note "%s: audit: %s" r.label s) r.audit_failures;
   List.rev !problems
 
-let run ?seed ?total_pages trace =
-  let baseline = replay ?seed ?total_pages trace W.Env.Baseline in
-  let prudence = replay ?seed ?total_pages trace W.Env.Prudence_alloc in
+let run ?seed ?total_pages
+    ?(kinds = [ W.Env.Baseline; W.Env.Prudence_alloc ]) trace =
+  let replays = List.map (replay ?seed ?total_pages trace) kinds in
+  let reference = List.hd replays in
   let mismatches = ref [] in
-  Array.iteri
-    (fun i a ->
-      let b = prudence.outcomes.(i) in
-      if a <> b then
-        mismatches :=
-          Printf.sprintf "op %d: %s on the baseline, %s under Prudence" i
-            (outcome_name a) (outcome_name b)
-          :: !mismatches)
-    baseline.outcomes;
+  List.iter
+    (fun r ->
+      if r != reference then
+        Array.iteri
+          (fun i a ->
+            let b = r.outcomes.(i) in
+            if a <> b then
+              mismatches :=
+                Printf.sprintf "op %d: %s on %s, %s under %s" i
+                  (outcome_name a) reference.label (outcome_name b) r.label
+                :: !mismatches)
+          reference.outcomes)
+    replays;
   let mismatches =
-    List.rev !mismatches @ verdict_mismatches baseline
-    @ verdict_mismatches prudence
+    List.rev !mismatches @ List.concat_map verdict_mismatches replays
   in
-  { ok = mismatches = []; mismatches; baseline; prudence }
+  { ok = mismatches = []; mismatches; replays }
 
 let pp_result ppf r =
   if r.ok then
     Format.fprintf ppf
-      "differential: OK — %d ops, identical outcomes on both stacks, all \
-       verdicts clean"
-      (Array.length r.baseline.outcomes)
+      "differential: OK — %d ops, identical outcomes on %d stack(s) (%s), \
+       all verdicts clean"
+      (Array.length (List.hd r.replays).outcomes)
+      (List.length r.replays)
+      (String.concat ", " (List.map (fun x -> x.label) r.replays))
   else begin
     let n = List.length r.mismatches in
     Format.fprintf ppf "@[<v 2>differential: %d problem(s):" n;

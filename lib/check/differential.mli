@@ -3,9 +3,9 @@
 
     A trace is a slot-based alloc/free/defer script generated against an
     occupancy model (operations are always valid: allocate into an empty
-    slot, free or defer-free an occupied one). Replaying it against the
-    SLUB baseline and against Prudence must produce the same per-operation
-    outcome sequence and the same (empty) safety verdicts — the allocators
+    slot, free or defer-free an occupied one). Replaying it against every
+    requested allocator/SMR stack must produce the same per-operation
+    outcome sequence and the same (empty) safety verdicts — the stacks
     may differ in {e when} memory is reclaimed, never in {e whether} the
     mutator's requests succeed or safety holds. *)
 
@@ -57,13 +57,15 @@ val replay : ?seed:int -> ?total_pages:int -> trace -> Workloads.Env.kind -> rep
 type result = {
   ok : bool;
   mismatches : string list;
-  baseline : replay;
-  prudence : replay;
+  replays : replay list;  (** One per kind, in request order. *)
 }
 
-val run : ?seed:int -> ?total_pages:int -> trace -> result
-(** Replay against both stacks and compare: same outcome at every index,
-    both oracles clean, both audits clean. [mismatches] lists every
+val run :
+  ?seed:int -> ?total_pages:int -> ?kinds:Workloads.Env.kind list ->
+  trace -> result
+(** Replay against each stack in [kinds] (default: baseline + Prudence)
+    and compare everything to the first: same outcome at every index,
+    every oracle clean, every audit clean. [mismatches] lists every
     difference found (capped in the report, never in the comparison). *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -130,6 +130,65 @@ let mutate_input cfg rng input =
         ("cpus", { input with cpus; plan })
       end
 
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing: op-trace inputs, all backends, divergence in
+   the backend-independent outcome sequence is a finding even when no
+   safety oracle fires.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type diff_record = {
+  d_exec : int;  (* 1-based execution index *)
+  trace_seed : int;
+  n_ops : int;
+  n_slots : int;
+  gap_ns : int;
+  result : Differential.result;
+}
+
+type diff_result = {
+  diff_records : diff_record list;  (* in execution order *)
+  diff_executed : int;
+  diff_failure : diff_record option;  (* first diverging case *)
+}
+
+(* Each execution replays one generated trace under every kind — the
+   budget counts traces, not replays. Trace shapes are drawn from the
+   fuzz RNG only, so the campaign is a pure function of
+   (config, kinds, seed, budget). *)
+let run_differential ?(progress = fun (_ : diff_record) -> ())
+    ?(kinds = W.Env.all_kinds) cfg =
+  let rng = Sim.Rng.create ~seed:cfg.seed in
+  let records = ref [] in
+  let executed = ref 0 in
+  let failure = ref None in
+  while
+    !executed < cfg.budget
+    && not (cfg.stop_on_failure && !failure <> None)
+  do
+    let trace_seed = Sim.Rng.int rng 1_000_000 in
+    let n_ops = 400 + Sim.Rng.int rng 1_600 in
+    let n_slots = 16 + Sim.Rng.int rng 112 in
+    let gap_ns = 5_000 + Sim.Rng.int rng 45_000 in
+    let trace = Differential.gen ~n_slots ~n_ops ~gap_ns ~seed:trace_seed () in
+    let result =
+      Differential.run ~seed:cfg.base.Sweep.seed
+        ~total_pages:cfg.base.Sweep.total_pages ~kinds trace
+    in
+    incr executed;
+    let record =
+      { d_exec = !executed; trace_seed; n_ops; n_slots; gap_ns; result }
+    in
+    records := record :: !records;
+    progress record;
+    if (not result.Differential.ok) && !failure = None then
+      failure := Some record
+  done;
+  {
+    diff_records = List.rev !records;
+    diff_executed = !executed;
+    diff_failure = !failure;
+  }
+
 let run ?(progress = fun (_ : record) -> ()) cfg =
   let rng = Sim.Rng.create ~seed:cfg.seed in
   let global = Coverage.create () in

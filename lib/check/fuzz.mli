@@ -68,3 +68,31 @@ val run : ?progress:(record -> unit) -> config -> result
     coverage-contributing inputs (biased toward recent additions) until
     the budget is spent or — with [stop_on_failure] — an oracle fires.
     [progress] observes each record as it lands. *)
+
+(** {1 Differential mode} *)
+
+type diff_record = {
+  d_exec : int;  (** 1-based execution index. *)
+  trace_seed : int;
+  n_ops : int;
+  n_slots : int;
+  gap_ns : int;
+  result : Differential.result;
+}
+
+type diff_result = {
+  diff_records : diff_record list;  (** In execution order. *)
+  diff_executed : int;
+  diff_failure : diff_record option;  (** First diverging case. *)
+}
+
+val run_differential :
+  ?progress:(diff_record -> unit) -> ?kinds:Workloads.Env.kind list ->
+  config -> diff_result
+(** Generate op traces with shapes drawn from the fuzz RNG (seed, ops,
+    slots, gap) and replay each under every kind (default: all
+    registered backends), flagging any divergence in the
+    backend-independent outcome sequence — or any oracle/audit hit — as
+    a finding even when no safety oracle fires on its own. The budget
+    counts traces; each trace costs one full replay per kind.
+    Deterministic in (config, kinds, seed, budget). *)

@@ -57,9 +57,10 @@ let max_logged_violations = 64
 
 type t = {
   machine : Sim.Machine.t;
-  rcu : Rcu.t;
+  smr : Slab.Smr.t;  (* the truthful reclamation view, never the mutated one *)
   prof : Prof.t;
   page_reuse : bool;
+  early_reuse : bool;
   coverage : Coverage.t option;
   states : (int, state) Hashtbl.t;
   mutable violation_log : violation list; (* reversed; first K kept *)
@@ -124,8 +125,9 @@ let on_pool t ~oid ~cookie:_ =
   (* Pool-to-pool moves (refill: slab freelist -> object cache; flush:
      the reverse) re-enter here from [Reclaimed]; that is legal. *)
   (match state t ~oid with
-  | Some (Deferred c) when not (Rcu.poll t.rcu c) ->
-      flag t ~oid (Early_reuse { cookie = c; completed = Rcu.completed t.rcu })
+  | Some (Deferred c) when t.early_reuse && not (Slab.Smr.ripe t.smr c) ->
+      flag t ~oid
+        (Early_reuse { cookie = c; completed = t.smr.Slab.Smr.ripe_upto () })
   | Some (Live | Deferred _ | Ripe | Reclaimed) | None -> ());
   set t oid Reclaimed
 
@@ -140,15 +142,17 @@ let on_page_release t ~oids =
       t.events <- t.events + 1;
       (if t.page_reuse then
          match state t ~oid with
-         | Some (Deferred c) when not (Rcu.poll t.rcu c) ->
+         | Some (Deferred c) when not (Slab.Smr.ripe t.smr c) ->
              flag t ~oid
-               (Page_reuse { cookie = c; completed = Rcu.completed t.rcu })
+               (Page_reuse
+                  { cookie = c; completed = t.smr.Slab.Smr.ripe_upto () })
          | Some (Live | Deferred _ | Ripe | Reclaimed) | None ->
              (* Deferred-and-ripe (grace period done, harvest pending) is
                 safe; cross-check the frame's stamp for never-seen oids. *)
-             if not (Rcu.poll t.rcu cookie) && state t ~oid = None then
+             if (not (Slab.Smr.ripe t.smr cookie)) && state t ~oid = None then
                flag t ~oid
-                 (Page_reuse { cookie; completed = Rcu.completed t.rcu }));
+                 (Page_reuse
+                    { cookie; completed = t.smr.Slab.Smr.ripe_upto () }));
       (match t.coverage with
       | Some cov ->
           Coverage.note_transition cov
@@ -166,7 +170,7 @@ let on_reader_access t ~cpu ~oid =
   | Some (Live | Deferred _ | Ripe) | None -> ()
 
 let on_gp_complete t completed =
-  (* Promote every deferred object whose grace period just finished.
+  (* Promote every deferred object whose reclamation token just ripened.
      Collect first: replacing bindings mid-iteration is unspecified. *)
   let ripe = ref [] in
   Hashtbl.iter
@@ -177,13 +181,15 @@ let on_gp_complete t completed =
     t.states;
   List.iter (fun oid -> set t oid Ripe) !ripe
 
-let install ?(page_reuse = true) ?coverage (env : Workloads.Env.t) =
+let install ?(page_reuse = true) ?(early_reuse = true) ?coverage
+    (env : Workloads.Env.t) =
   let t =
     {
       machine = env.Workloads.Env.machine;
-      rcu = env.Workloads.Env.rcu;
+      smr = env.Workloads.Env.smr;
       prof = env.Workloads.Env.prof;
       page_reuse;
+      early_reuse;
       coverage;
       states = Hashtbl.create 4096;
       violation_log = [];
@@ -225,7 +231,7 @@ let install ?(page_reuse = true) ?coverage (env : Workloads.Env.t) =
             on_page_release t ~oids;
             Prof.exit prof Prof.Span.Check_probe);
       };
-  Rcu.on_gp_complete t.rcu (fun completed -> on_gp_complete t completed);
+  t.smr.Slab.Smr.on_ripen (fun frontier -> on_gp_complete t frontier);
   Rcu.Readers.set_access_hook env.Workloads.Env.readers
     (Some (fun ~cpu ~oid -> on_reader_access t ~cpu ~oid));
   t

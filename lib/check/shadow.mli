@@ -55,15 +55,22 @@ val pp_violation : Format.formatter -> violation -> unit
 
 type t
 
-val install : ?page_reuse:bool -> ?coverage:Coverage.t -> Workloads.Env.t -> t
+val install :
+  ?page_reuse:bool -> ?early_reuse:bool -> ?coverage:Coverage.t ->
+  Workloads.Env.t -> t
 (** Wire the oracle into a built environment: sets the frame's probe
-    record (under the [check.probe] prof span), registers a grace-period
-    completion hook that promotes deferred objects to ripe, and installs
-    the reader access hook. [page_reuse] (default [true]) controls the
-    page-level check — the off switch exists so its [--mutate] self-test
-    can prove the oracle necessary. When [coverage] is given, every
-    shadow-state transition feeds it. Install at most one oracle per
-    environment (the hooks are overwritten, not chained). *)
+    record (under the [check.probe] prof span), registers a frontier-
+    advance hook (under RCU: grace-period completion) that promotes
+    deferred objects to ripe, and installs the reader access hook.
+    Ripeness is judged against the environment's {i truthful} SMR view
+    ([env.smr]) — an opaque token compare, so the oracle works for any
+    backend and stays honest under frontier-corrupting mutations.
+    [page_reuse] (default [true]) controls the page-level check and
+    [early_reuse] (default [true]) the object-pool check — the off
+    switches exist so each [--mutate] self-test can prove its oracle
+    necessary. When [coverage] is given, every shadow-state transition
+    feeds it. Install at most one oracle per environment (the hooks are
+    overwritten, not chained). *)
 
 val violations : t -> violation list
 (** Oldest first; at most {!max_logged_violations} entries. *)

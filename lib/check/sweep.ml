@@ -6,6 +6,8 @@ type mutation =
   | Drop_stall
   | Lose_cb
   | Free_latent_page
+  | Skip_epoch_advance
+  | Drop_retire_batch
 
 let mutation_name = function
   | No_mutation -> "none"
@@ -13,6 +15,8 @@ let mutation_name = function
   | Drop_stall -> "drop-stall"
   | Lose_cb -> "lose-cb"
   | Free_latent_page -> "free-latent-page"
+  | Skip_epoch_advance -> "skip-epoch-advance"
+  | Drop_retire_batch -> "drop-retire-batch"
 
 let mutation_of_string = function
   | "none" -> Some No_mutation
@@ -20,17 +24,24 @@ let mutation_of_string = function
   | "drop-stall" | "drop_stall" -> Some Drop_stall
   | "lose-cb" | "lose_cb" -> Some Lose_cb
   | "free-latent-page" | "free_latent_page" -> Some Free_latent_page
+  | "skip-epoch-advance" | "skip_epoch_advance" -> Some Skip_epoch_advance
+  | "drop-retire-batch" | "drop_retire_batch" -> Some Drop_retire_batch
   | _ -> None
 
-let all_mutations = [ Skip_gp; Drop_stall; Lose_cb; Free_latent_page ]
+let all_mutations =
+  [ Skip_gp; Drop_stall; Lose_cb; Free_latent_page; Skip_epoch_advance;
+    Drop_retire_batch ]
 
 type oracles = {
   page_reuse : bool;
+  early_reuse : bool;
   missed_qs : bool;
   cb_conservation : bool;
 }
 
-let all_oracles = { page_reuse = true; missed_qs = true; cb_conservation = true }
+let all_oracles =
+  { page_reuse = true; early_reuse = true; missed_qs = true;
+    cb_conservation = true }
 
 type config = {
   scenarios : W.Chaos.scenario list;
@@ -160,6 +171,16 @@ let run_case ?coverage cfg case =
           Prudence.emergency_flush = true;
           unsafe_skip_gp = (cfg.mutation = Skip_gp);
         };
+      ebr_config =
+        {
+          Slab.Ebr.default_config with
+          Slab.Ebr.unsafe_no_scan = (cfg.mutation = Skip_epoch_advance);
+        };
+      hyaline_config =
+        {
+          Slab.Hyaline.default_config with
+          Slab.Hyaline.unsafe_drop_refs = (cfg.mutation = Drop_retire_batch);
+        };
       track_readers = true;
       (* The sweep is a verification pass: force the frame's invariant
          sweeps on regardless of the ambient default. *)
@@ -168,7 +189,8 @@ let run_case ?coverage cfg case =
   in
   let env = W.Env.build env_cfg in
   let oracle =
-    Shadow.install ~page_reuse:cfg.oracles.page_reuse ?coverage env
+    Shadow.install ~page_reuse:cfg.oracles.page_reuse
+      ~early_reuse:cfg.oracles.early_reuse ?coverage env
   in
   let orc =
     Oracles.install
@@ -300,7 +322,7 @@ let summary ppf verdicts =
                 (W.Chaos.scenario_name scenario)
                 (W.Env.kind_label kind) passed (passed + failed)
                 (if failed > 0 then "  <-- FAIL" else ""))
-        [ W.Env.Baseline; W.Env.Prudence_alloc ])
+        W.Env.all_kinds)
     W.Chaos.all_scenarios;
   let failures = List.filter (fun v -> not (ok v)) verdicts in
   if failures <> [] then begin

@@ -27,6 +27,18 @@ type mutation =
       (** Let the shrinker destroy pre-moved slabs whose objects are all
           still latent: a page returns to the buddy inside its grace
           period. The page-reuse oracle must flag it. *)
+  | Skip_epoch_advance
+      (** Run the EBR/DEBRA backend with [unsafe_no_scan]: its
+          reclamation frontier advances without scanning reader
+          announcements, so objects retired while a reader pins the
+          epoch are recycled under it. The shadow oracle (judging by the
+          truthful frontier) must flag early reuse. Only bites
+          [Ebr_debra] environments. *)
+  | Drop_retire_batch
+      (** Run the Hyaline backend with [unsafe_drop_refs]: sealed
+          retirement batches are handed to reclamation with their reader
+          reference counts dropped. The shadow oracle must flag early
+          reuse. Only bites [Hyaline_alloc] environments. *)
 
 val mutation_name : mutation -> string
 val mutation_of_string : string -> mutation option
@@ -37,6 +49,7 @@ val all_mutations : mutation list
 
 type oracles = {
   page_reuse : bool;  (** {!Shadow}'s page-level reuse check. *)
+  early_reuse : bool;  (** {!Shadow}'s object-pool early-reuse check. *)
   missed_qs : bool;  (** {!Oracles}' unreported-stall check. *)
   cb_conservation : bool;  (** {!Oracles}' callback conservation. *)
 }

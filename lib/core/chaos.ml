@@ -51,31 +51,34 @@ let header =
     "gp p99"; "retries"; "flush/objs"; "oom-delay"; "inj-fail"; "viol";
   ]
 
-let report p scenarios =
-  let pairs = List.map (fun s -> (s, run_scenario p s)) scenarios in
-  let rows =
-    List.concat_map (fun (_, (slub, prud)) -> [ row slub; row prud ]) pairs
+let report ?(kinds = [ Workloads.Env.Baseline; Workloads.Env.Prudence_alloc ])
+    p scenarios =
+  let outcomes =
+    List.concat_map
+      (fun s ->
+        let cfg = config_for p s in
+        List.map (fun k -> Workloads.Chaos.run_one cfg k) kinds)
+      scenarios
   in
-  let survived label sel =
-    let n =
-      List.length
-        (List.filter
-           (fun (_, pair) -> (sel pair).Workloads.Chaos.survived)
-           pairs)
+  let rows = List.map row outcomes in
+  let survived label =
+    let mine =
+      List.filter (fun o -> o.Workloads.Chaos.label = label) outcomes
     in
-    Printf.sprintf "%s %d/%d" label n (List.length pairs)
+    let n =
+      List.length (List.filter (fun o -> o.Workloads.Chaos.survived) mine)
+    in
+    Printf.sprintf "%s %d/%d" label n (List.length mine)
   in
   let violations =
     List.fold_left
-      (fun acc (_, (a, b)) ->
-        acc + a.Workloads.Chaos.safety_violations
-        + b.Workloads.Chaos.safety_violations)
-      0 pairs
+      (fun acc o -> acc + o.Workloads.Chaos.safety_violations)
+      0 outcomes
   in
   let verdict =
-    Printf.sprintf "survival: %s, %s; safety violations: %d"
-      (survived "slub" fst)
-      (survived "prudence" snd)
+    Printf.sprintf "survival: %s; safety violations: %d"
+      (String.concat ", "
+         (List.map (fun k -> survived (Workloads.Env.kind_label k)) kinds))
       violations
   in
   Metrics.Report.make ~id:"chaos"

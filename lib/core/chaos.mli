@@ -22,6 +22,10 @@ val run_scenario :
   Workloads.Chaos.outcome * Workloads.Chaos.outcome
 (** (baseline, prudence) outcomes for one scenario. *)
 
-val report : params -> Workloads.Chaos.scenario list -> Metrics.Report.t
-(** One report with two rows (slub, prudence) per scenario. Deterministic:
-    same params and scenario list render byte-identical output. *)
+val report :
+  ?kinds:Workloads.Env.kind list ->
+  params -> Workloads.Chaos.scenario list -> Metrics.Report.t
+(** One report with one row per (scenario, kind); [kinds] defaults to
+    [[Baseline; Prudence_alloc]], reproducing the classic two-row
+    slub/prudence matrix byte-identically. Deterministic: same params,
+    scenarios and kinds render byte-identical output. *)

@@ -20,5 +20,6 @@ module Metrics = Metrics
 module Stats = Stats
 module Experiments = Experiments
 module Chaos = Chaos
+module Tournament = Tournament
 
 let version = "1.0.0"

@@ -1,5 +1,6 @@
 module Frame = Slab.Frame
 module Latq = Slab.Latq
+module Smr = Slab.Smr
 module Costs = Slab.Costs
 module Stats = Slab.Slab_stats
 
@@ -28,7 +29,8 @@ let default_config =
 
 type t = {
   env : Frame.env;
-  rcu : Rcu.t;
+  smr : Smr.t;
+  label : string;
   cfg : config;
   by_name : (string, Frame.cache) Hashtbl.t;
       (* O(1) name lookup on the cache-creation path. *)
@@ -38,12 +40,13 @@ type t = {
 }
 
 let env t = t.env
-let rcu t = t.rcu
+let smr t = t.smr
 let config t = t.cfg
 
-(* The grace-period horizon used for ripeness tests. The fault-injection
+(* The reclamation horizon used for ripeness tests. The fault-injection
    mode pretends everything is ripe immediately. *)
-let completed t = if t.cfg.unsafe_skip_gp then max_int else Rcu.completed t.rcu
+let completed t =
+  if t.cfg.unsafe_skip_gp then max_int else t.smr.Smr.ripe_upto ()
 
 let charge (cpu : Sim.Machine.cpu) ns = Sim.Machine.consume cpu ns
 
@@ -332,8 +335,8 @@ and alloc_slow t ~may_wait (cache : Frame.cache) cpu (pc : Frame.pcpu) =
               if may_wait && t.cfg.wait_on_oom && latent_outstanding t > 0
               then begin
                 Stats.oom_delayed cache.Frame.stats;
-                Rcu.request_gp t.rcu;
-                Rcu.synchronize t.rcu;
+                t.smr.Smr.request ();
+                t.smr.Smr.wait ();
                 alloc_inner t ~may_wait:false cache cpu
               end
               else None))
@@ -363,11 +366,12 @@ let free_deferred t (cache : Frame.cache) cpu obj =
   let pc = Frame.pcpu_for cache cpu in
   Stats.deferred_free cache.Frame.stats;
   Frame.note_release pc;
-  (* l.35: capture the grace-period state. *)
-  let cookie = Rcu.snapshot t.rcu in
+  (* l.35: capture the reclamation-scheme state (under RCU: the
+     grace-period cookie from [Rcu.snapshot]). *)
+  let cookie = t.smr.Smr.defer ~cpu:cpu.Sim.Machine.id in
   Frame.trace_event_arg cache cpu ~arg:cookie Trace.Event.Defer_free;
   Frame.stamp_deferred cache obj ~cookie;
-  Rcu.request_gp t.rcu;
+  t.smr.Smr.request ();
   charge cpu costs.Costs.defer_enqueue;
   let latent_n = Latq.Fifo.length pc.Frame.latent in
   if latent_n < cache.Frame.latent_cap then begin
@@ -449,7 +453,7 @@ let settle t =
   let rec loop budget =
     if budget = 0 then failwith "Prudence.settle: latent objects failed to drain";
     if latent_outstanding t > 0 then begin
-      Rcu.synchronize t.rcu;
+      t.smr.Smr.wait ();
       let horizon = completed t in
       List.iter
         (fun cache ->
@@ -486,7 +490,7 @@ let settle t =
 
 let backend t =
   {
-    Slab.Backend.label = "prudence";
+    Slab.Backend.label = t.label;
     create_cache = (fun ~name ~obj_size -> create_cache t ~name ~obj_size);
     alloc = (fun cache cpu -> alloc t cache cpu);
     free = (fun cache cpu obj -> free t cache cpu obj);
@@ -495,12 +499,16 @@ let backend t =
     iter_caches = (fun f -> List.iter f t.caches);
   }
 
-let create ?(config = default_config) env rcu =
-  let t = { env; rcu; cfg = config; by_name = Hashtbl.create 8; caches = [] } in
-  Rcu.on_gp_complete rcu (fun _completed ->
+let create_smr ?(config = default_config) ?(label = "prudence") env smr =
+  let t =
+    { env; smr; label; cfg = config; by_name = Hashtbl.create 8; caches = [] }
+  in
+  smr.Smr.on_ripen (fun _frontier ->
       List.iter
         (fun cache -> Array.iter Frame.decay_rates cache.Frame.pcpus)
         t.caches;
-      (* Keep grace periods running while deferred objects wait on them. *)
-      if latent_outstanding t > 0 then Rcu.request_gp rcu);
+      (* Keep grace detection running while deferred objects wait on it. *)
+      if latent_outstanding t > 0 then smr.Smr.request ());
   t
+
+let create ?config env rcu = create_smr ?config env (Smr.of_rcu rcu)

@@ -56,12 +56,20 @@ val default_config : config
 type t
 
 val create : ?config:config -> Slab.Frame.env -> Rcu.t -> t
-(** [create env rcu] builds a Prudence instance. It registers a
-    grace-period hook with [rcu] to decay per-CPU rate estimates and to
-    keep grace periods running while latent objects exist. *)
+(** [create env rcu] builds a Prudence instance over RCU grace periods
+    ({!Slab.Smr.of_rcu}). It registers a grace-period hook with [rcu] to
+    decay per-CPU rate estimates and to keep grace periods running while
+    latent objects exist. *)
+
+val create_smr :
+  ?config:config -> ?label:string -> Slab.Frame.env -> Slab.Smr.t -> t
+(** [create_smr env smr] builds a Prudence instance over an arbitrary
+    SMR backend: deferred frees are stamped with [smr.defer] tokens and
+    ripen at [smr.ripe_upto]; the OOM-delay path uses [smr.wait].
+    [label] names the {!backend} (default ["prudence"]). *)
 
 val env : t -> Slab.Frame.env
-val rcu : t -> Rcu.t
+val smr : t -> Slab.Smr.t
 val config : t -> config
 
 val create_cache : t -> name:string -> obj_size:int -> Slab.Frame.cache

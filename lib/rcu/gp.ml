@@ -67,6 +67,11 @@ type t = {
   mutable gp_started_at : int;
   gp_cond : Sim.Process.Cond.t;
   mutable gp_hooks : (int -> unit) list;
+  mutable section_hooks :
+    ((Sim.Machine.cpu -> unit) * (Sim.Machine.cpu -> unit)) option;
+      (* fired at outermost read-side entry/exit; lets epoch-based SMR
+         schemes observe reader quiescence without touching the
+         read-side fast path when unset *)
   (* stats *)
   mutable s_gps_started : int;
   mutable s_gps_completed : int;
@@ -113,12 +118,20 @@ let poll t cookie = t.completed_gps >= cookie
 
 let on_gp_complete t fn = t.gp_hooks <- t.gp_hooks @ [ fn ]
 
-let read_lock _t (cpu : Sim.Machine.cpu) =
+let set_section_hooks t hooks = t.section_hooks <- hooks
+
+let read_lock t (cpu : Sim.Machine.cpu) =
+  (match t.section_hooks with
+  | Some (enter, _) when cpu.rcu_nesting = 0 -> enter cpu
+  | _ -> ());
   cpu.rcu_nesting <- cpu.rcu_nesting + 1
 
-let read_unlock _t (cpu : Sim.Machine.cpu) =
+let read_unlock t (cpu : Sim.Machine.cpu) =
   assert (cpu.rcu_nesting > 0);
-  cpu.rcu_nesting <- cpu.rcu_nesting - 1
+  cpu.rcu_nesting <- cpu.rcu_nesting - 1;
+  match t.section_hooks with
+  | Some (_, exit) when cpu.rcu_nesting = 0 -> exit cpu
+  | _ -> ()
 
 let batch_size t (pc : pcpu) =
   if t.expedited_flag || Cblist.total pc.cbs > t.cfg.qhimark then
@@ -364,6 +377,7 @@ let create ?(config = default_config) machine =
       gp_started_at = 0;
       gp_cond = Sim.Process.Cond.create (Sim.Machine.engine machine);
       gp_hooks = [];
+      section_hooks = None;
       s_gps_started = 0;
       s_gps_completed = 0;
       s_cbs_queued = 0;

@@ -69,6 +69,16 @@ val read_lock : t -> Sim.Machine.cpu -> unit
 
 val read_unlock : t -> Sim.Machine.cpu -> unit
 
+val set_section_hooks :
+  t -> ((Sim.Machine.cpu -> unit) * (Sim.Machine.cpu -> unit)) option -> unit
+(** [set_section_hooks t (Some (enter, exit))] fires [enter] when a CPU's
+    outermost read-side section opens (before the nesting count rises)
+    and [exit] when it closes (after the count returns to zero). Lets
+    epoch-based SMR schemes observe reader quiescence — including
+    sections opened directly via {!read_lock}, e.g. by the fault
+    injector's stalled readers. [None] (the default) leaves the
+    read-side fast path untouched. *)
+
 (** {1 Update side} *)
 
 val call_rcu : t -> Sim.Machine.cpu -> (unit -> unit) -> unit

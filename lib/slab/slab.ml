@@ -5,6 +5,9 @@
     - {!Slab_stats}: per-cache statistics behind Figs. 7-11
     - {!Latq}: grace-period-cookie-bucketed latent-object queues
     - {!Frame}: shared cache/slab/node machinery
+    - {!Smr}: pluggable safe-memory-reclamation backend interface
+    - {!Ebr}: epoch-based reclamation (DEBRA-amortized advancement)
+    - {!Hyaline}: snapshot-free reference-batched retirement
     - {!Slub}: the baseline allocator (deferred frees via [call_rcu])
     - {!Backend}: allocator-agnostic interface used by the workloads
     - {!Kmalloc}: size-class facade *)
@@ -14,6 +17,9 @@ module Costs = Costs
 module Slab_stats = Slab_stats
 module Latq = Latq
 module Frame = Frame
+module Smr = Smr
+module Ebr = Ebr
+module Hyaline = Hyaline
 module Backend = Backend
 module Slub = Slub
 module Kmalloc = Kmalloc

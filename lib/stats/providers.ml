@@ -207,7 +207,7 @@ type latent_view = {
   latent_overflows : int;
 }
 
-let latent_views ~rcu (backend : Slab.Backend.t) =
+let latent_views ~smr (backend : Slab.Backend.t) =
   let module S = Slab.Slab_stats in
   let views = ref [] in
   backend.Slab.Backend.iter_caches (fun (c : Slab.Frame.cache) ->
@@ -251,7 +251,7 @@ let latent_views ~rcu (backend : Slab.Backend.t) =
             (fun cookie (cache_n, slab_n) acc ->
               {
                 cookie;
-                ripe = Rcu.poll rcu cookie;
+                ripe = Slab.Smr.ripe smr cookie;
                 in_latent_caches = cache_n;
                 in_latent_slabs = slab_n;
               }
@@ -319,7 +319,7 @@ let snapshot ?watch (env : Workloads.Env.t) =
       render_rcu (rcu_view env.Workloads.Env.rcu);
       render_slabs (slab_rows ?watch env.Workloads.Env.backend);
       render_latent
-        (latent_views ~rcu:env.Workloads.Env.rcu env.Workloads.Env.backend);
+        (latent_views ~smr:env.Workloads.Env.smr env.Workloads.Env.backend);
     ]
 
 let level_value = function

@@ -95,7 +95,7 @@ type latent_view = {
   latent_overflows : int;
 }
 
-val latent_views : rcu:Rcu.t -> Slab.Backend.t -> latent_view list
+val latent_views : smr:Slab.Smr.t -> Slab.Backend.t -> latent_view list
 (** One view per cache that has seen deferred frees (others are
     omitted); empty for the SLUB baseline. *)
 

@@ -1,10 +1,18 @@
-type kind = Baseline | Prudence_alloc
+type kind = Baseline | Prudence_alloc | Ebr_debra | Hyaline_alloc
 
-let kind_label = function Baseline -> "slub" | Prudence_alloc -> "prudence"
+let all_kinds = [ Baseline; Prudence_alloc; Ebr_debra; Hyaline_alloc ]
+
+let kind_label = function
+  | Baseline -> "slub"
+  | Prudence_alloc -> "prudence"
+  | Ebr_debra -> "ebr-debra"
+  | Hyaline_alloc -> "hyaline"
 
 let kind_of_string = function
   | "slub" | "baseline" -> Some Baseline
   | "prudence" -> Some Prudence_alloc
+  | "ebr-debra" | "ebr" | "debra" -> Some Ebr_debra
+  | "hyaline" -> Some Hyaline_alloc
   | _ -> None
 
 type config = {
@@ -17,6 +25,8 @@ type config = {
   total_pages : int;
   rcu_config : Rcu.config;
   prudence_config : Prudence.config;
+  ebr_config : Slab.Ebr.config;
+  hyaline_config : Slab.Hyaline.config;
   costs : Slab.Costs.t;
   track_readers : bool;
   trace : int option;
@@ -35,6 +45,8 @@ let default_config =
     total_pages = 65_536;
     rcu_config = Rcu.default_config;
     prudence_config = Prudence.default_config;
+    ebr_config = Slab.Ebr.default_config;
+    hyaline_config = Slab.Hyaline.default_config;
     costs = Slab.Costs.default;
     track_readers = false;
     trace = None;
@@ -52,6 +64,7 @@ type t = {
   fenv : Slab.Frame.env;
   readers : Rcu.Readers.t;
   backend : Slab.Backend.t;
+  smr : Slab.Smr.t;
   rng : Sim.Rng.t;
   tracer : Trace.t;
   prof : Prof.t;
@@ -84,14 +97,41 @@ let build cfg =
   if cfg.track_readers then
     fenv.Slab.Frame.reuse_check <-
       Some (fun oid -> Rcu.Readers.check_reusable readers ~oid ~where:"alloc");
-  let backend =
+  (* [smr] is the truthful reclamation view: identical to the
+     allocator's view except under an unsafe (mutation) config, where
+     the allocator consumes the corrupted frontier while oracles keep
+     asking the honest one — the same split [unsafe_skip_gp] has always
+     had between Prudence's horizon and the shadow heap's [Rcu.poll]. *)
+  let wire_epoch_prudence ~label ~backend_smr ~oracle_smr =
+    (match (oracle_smr.Slab.Smr.reader_enter, oracle_smr.Slab.Smr.reader_exit)
+    with
+    | Some enter, Some exit -> Rcu.set_section_hooks rcu (Some (enter, exit))
+    | _ -> ());
+    let p =
+      Prudence.create_smr ~config:cfg.prudence_config ~label fenv backend_smr
+    in
+    Prudence.attach_pressure p pressure;
+    (Prudence.backend p, oracle_smr)
+  in
+  let backend, smr =
     match cfg.kind with
-    | Baseline -> Slab.Slub.backend (Slab.Slub.create fenv rcu)
+    | Baseline ->
+        (Slab.Slub.backend (Slab.Slub.create fenv rcu), Slab.Smr.of_rcu rcu)
     | Prudence_alloc ->
         let p = Prudence.create ~config:cfg.prudence_config fenv rcu in
         (* No-op unless the config enables emergency_flush. *)
         Prudence.attach_pressure p pressure;
-        Prudence.backend p
+        (Prudence.backend p, Slab.Smr.of_rcu rcu)
+    | Ebr_debra ->
+        let e = Slab.Ebr.create ~config:cfg.ebr_config ~cpus:cfg.cpus eng in
+        wire_epoch_prudence ~label:"ebr-debra" ~backend_smr:(Slab.Ebr.smr e)
+          ~oracle_smr:(Slab.Ebr.oracle_smr e)
+    | Hyaline_alloc ->
+        let h =
+          Slab.Hyaline.create ~config:cfg.hyaline_config ~cpus:cfg.cpus eng
+        in
+        wire_epoch_prudence ~label:"hyaline" ~backend_smr:(Slab.Hyaline.smr h)
+          ~oracle_smr:(Slab.Hyaline.oracle_smr h)
   in
   {
     cfg;
@@ -103,6 +143,7 @@ let build cfg =
     fenv;
     readers;
     backend;
+    smr;
     rng = Sim.Rng.split (Sim.Engine.rng eng);
     tracer;
     prof = cfg.prof;

@@ -3,10 +3,14 @@
     under test — the SLUB baseline or Prudence — behind one
     {!Slab.Backend.t}. *)
 
-type kind = Baseline | Prudence_alloc
+type kind = Baseline | Prudence_alloc | Ebr_debra | Hyaline_alloc
+
+val all_kinds : kind list
+(** Every registered allocator/SMR stack, registry order:
+    slub, prudence, ebr-debra, hyaline. *)
 
 val kind_label : kind -> string
-(** "slub" / "prudence". *)
+(** "slub" / "prudence" / "ebr-debra" / "hyaline". *)
 
 val kind_of_string : string -> kind option
 
@@ -23,6 +27,10 @@ type config = {
   total_pages : int;  (** Physical memory: pages of 4 KiB. *)
   rcu_config : Rcu.config;
   prudence_config : Prudence.config;
+  ebr_config : Slab.Ebr.config;
+      (** Epoch advancement tuning for the [Ebr_debra] kind. *)
+  hyaline_config : Slab.Hyaline.config;
+      (** Batch tuning for the [Hyaline_alloc] kind. *)
   costs : Slab.Costs.t;
   track_readers : bool;
       (** Arm the premature-reuse safety checker (small overhead). *)
@@ -51,6 +59,11 @@ type t = {
   fenv : Slab.Frame.env;
   readers : Rcu.Readers.t;
   backend : Slab.Backend.t;
+  smr : Slab.Smr.t;
+      (** The truthful reclamation view (ground truth for oracles):
+          matches the allocator's view except under unsafe mutation
+          configs, where the allocator consumes a corrupted frontier
+          and this one stays honest. *)
   rng : Sim.Rng.t;
   tracer : Trace.t;  (** The machine's tracer; {!Trace.null} when off. *)
   prof : Prof.t;  (** The installed profiler; {!Prof.null} when off. *)

@@ -201,6 +201,62 @@ let test_sweep_skip_gp_mutation_fires () =
         (contains ~affix:"--mutate=skip-gp" v.Sweep.replay)
   | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
 
+(* The epoch-backend mutants: each corrupts one backend's grace
+   detection while the truthful SMR view stays honest, so the shadow
+   oracle's early-reuse check — and only that check — must catch it. *)
+let epoch_mutation_cfg kind mutation =
+  {
+    small_sweep with
+    Sweep.scenarios = [ W.Chaos.Stalled_reader ];
+    kinds = [ kind ];
+    sweeps = 1;
+    duration_ns = Sim.Clock.ms 30;
+    mutation;
+  }
+
+let run_epoch_mutation ?(oracles = Sweep.all_oracles) kind mutation =
+  match Sweep.run { (epoch_mutation_cfg kind mutation) with Sweep.oracles } with
+  | [ v ] -> v
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
+
+let check_epoch_mutation_teeth kind mutation flag =
+  let v = run_epoch_mutation kind mutation in
+  Alcotest.(check bool) "verdict fails" false (Sweep.ok v);
+  Alcotest.(check bool) "early reuse reported" true
+    (List.exists
+       (fun viol ->
+         match viol.Shadow.kind with
+         | Shadow.Early_reuse _ -> true
+         | _ -> false)
+       v.Sweep.oracle_violations);
+  Alcotest.(check bool) "replay command carries the mutation" true
+    (contains ~affix:("--mutate=" ^ flag) v.Sweep.replay)
+
+let test_skip_epoch_advance_mutation_fires () =
+  check_epoch_mutation_teeth W.Env.Ebr_debra Sweep.Skip_epoch_advance
+    "skip-epoch-advance"
+
+let test_drop_retire_batch_mutation_fires () =
+  check_epoch_mutation_teeth W.Env.Hyaline_alloc Sweep.Drop_retire_batch
+    "drop-retire-batch"
+
+(* Necessity: with the early-reuse oracle disabled, the same mutated runs
+   pass — no other oracle covers the bug, so early-reuse pulls its
+   weight. *)
+let test_early_reuse_oracle_necessary () =
+  let oracles = { Sweep.all_oracles with Sweep.early_reuse = false } in
+  List.iter
+    (fun (kind, mutation) ->
+      let v = run_epoch_mutation ~oracles kind mutation in
+      if not (Sweep.ok v) then
+        Alcotest.failf "%s without early-reuse oracle still failed: %s"
+          (W.Env.kind_label kind)
+          (Format.asprintf "%a" Sweep.pp_verdict v))
+    [
+      (W.Env.Ebr_debra, Sweep.Skip_epoch_advance);
+      (W.Env.Hyaline_alloc, Sweep.Drop_retire_batch);
+    ]
+
 (* Auditors pass on a freshly built stack and after real churn. *)
 let test_audit_clean () =
   let env = build ~kind:W.Env.Prudence_alloc () in
@@ -230,13 +286,17 @@ let test_differential_identical () =
   if not r.Diff.ok then
     Alcotest.failf "differential diverged: %s"
       (String.concat "; " r.Diff.mismatches);
-  Alcotest.(check bool) "baseline finished" true r.Diff.baseline.Diff.finished;
-  Alcotest.(check bool) "prudence finished" true r.Diff.prudence.Diff.finished;
+  List.iter
+    (fun (rp : Diff.replay) ->
+      Alcotest.(check bool)
+        (rp.Diff.label ^ " finished")
+        true rp.Diff.finished)
+    r.Diff.replays;
   (* The trace must actually exercise the deferred path. *)
   let deferred =
     Array.fold_left
       (fun n o -> if o = Diff.Deferred_ok then n + 1 else n)
-      0 r.Diff.baseline.Diff.outcomes
+      0 (List.hd r.Diff.replays).Diff.outcomes
   in
   Alcotest.(check bool) "trace defers objects" true (deferred > 50)
 
@@ -260,6 +320,12 @@ let suite =
       test_sweep_deterministic_replay;
     Alcotest.test_case "mutation: skip-gp makes the sweep fail" `Quick
       test_sweep_skip_gp_mutation_fires;
+    Alcotest.test_case "mutation: skip-epoch-advance caught on ebr-debra"
+      `Quick test_skip_epoch_advance_mutation_fires;
+    Alcotest.test_case "mutation: drop-retire-batch caught on hyaline" `Quick
+      test_drop_retire_batch_mutation_fires;
+    Alcotest.test_case "necessity: early-reuse oracle pulls its weight"
+      `Quick test_early_reuse_oracle_necessary;
     Alcotest.test_case "auditors: clean stack, clean verdict" `Quick
       test_audit_clean;
     Alcotest.test_case "differential: stacks agree on a trace" `Quick

@@ -302,7 +302,7 @@ let check_env_agreement kind =
     (sum (fun row -> row.Providers.latent_objs));
   (* Latent views: per-cookie occupancy must sum to the outstanding
      count, which must match the frame counter. *)
-  let views = Providers.latent_views ~rcu:env.W.Env.rcu env.W.Env.backend in
+  let views = Providers.latent_views ~smr:env.W.Env.smr env.W.Env.backend in
   List.iter
     (fun v ->
       let by_cookie =
@@ -318,7 +318,7 @@ let check_env_agreement kind =
   (match kind with
   | W.Env.Baseline ->
       Alcotest.(check int) "no latent views for slub" 0 (List.length views)
-  | W.Env.Prudence_alloc ->
+  | W.Env.Prudence_alloc | W.Env.Ebr_debra | W.Env.Hyaline_alloc ->
       Alcotest.(check bool) "latent view present" true (views <> []));
   (* Registry totals vs the same recounts. *)
   let reg = r.Live.registry in
