@@ -138,13 +138,60 @@ let chaos_params ring p =
     ring;
   }
 
-let run_chaos names alloc ring p =
+let run_chaos names alloc ring bundle_dir p =
   let scenarios = parse_scenarios names in
   let kinds = parse_kinds alloc in
   let cp = chaos_params ring p in
   Core.Metrics.Report.print Format.std_formatter
-    (Core.Chaos.report ~kinds cp scenarios);
+    (Core.Chaos.report ~kinds ?bundle_dir cp scenarios);
   0
+
+let run_anatomy name alloc ring json p =
+  let scenario =
+    match Core.Workloads.Chaos.scenario_of_string name with
+    | Some s -> s
+    | None ->
+        Format.eprintf "unknown scenario %S; scenarios: %s@." name
+          (String.concat ", "
+             (List.map Core.Workloads.Chaos.scenario_name
+                Core.Workloads.Chaos.all_scenarios));
+        exit 2
+  in
+  let kinds =
+    match alloc with
+    | "both" | "all" -> Core.Workloads.Env.all_kinds
+    | _ -> parse_kinds alloc
+  in
+  let cp = chaos_params ring p in
+  let results = Core.Anatomy.run ~kinds cp scenario in
+  if json then
+    print_string
+      (String.concat "\n" (Core.Anatomy.json_of_results scenario results)
+      ^ "\n")
+  else
+    Core.Metrics.Report.print Format.std_formatter
+      (Core.Anatomy.report_results scenario results);
+  if Core.Anatomy.sum_identity_ok results then 0 else 1
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_postmortem file =
+  match read_whole_file file with
+  | exception Sys_error e ->
+      Format.eprintf "postmortem: %s@." e;
+      2
+  | content -> (
+      match Core.Obs.Bundle.render content with
+      | Ok text ->
+          print_string text;
+          0
+      | Error e ->
+          Format.eprintf "postmortem: %s@." e;
+          2)
 
 let run_tournament names alloc ring out p =
   let module T = Core.Tournament in
@@ -433,7 +480,7 @@ let parse_plan = function
           exit 2)
 
 let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
-    disabled plan skip_diff json seed cpus =
+    disabled plan skip_diff bundle_dir json seed cpus =
   let module Sweep = Core.Check.Sweep in
   let module J = Core.Metrics.Json in
   if sweeps <= 0 || duration_ms <= 0 || pages <= 0 || cpus <= 0 then begin
@@ -457,6 +504,7 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
       mutation;
       oracles = parse_oracles disabled;
       plan = parse_plan plan;
+      bundle_dir;
     }
   in
   if not json then
@@ -508,6 +556,10 @@ let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
                   ("updates", J.Int v.Sweep.updates);
                   ("survived", J.Bool v.Sweep.survived);
                   ("replay", J.Str v.Sweep.replay);
+                  ( "bundle",
+                    match v.Sweep.bundle with
+                    | Some path -> J.Str path
+                    | None -> J.Null );
                 ])))
       verdicts
   else Format.printf "@.%a@." Sweep.summary verdicts;
@@ -612,7 +664,7 @@ let run_fuzz_differential base fcfg alloc json =
   if failed then 1 else 0
 
 let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
-    pages disabled plan no_minimize differential json seed cpus =
+    pages disabled plan no_minimize differential bundle_dir json seed cpus =
   let module Sweep = Core.Check.Sweep in
   let module Fuzz = Core.Check.Fuzz in
   let module Minimize = Core.Check.Minimize in
@@ -635,6 +687,9 @@ let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
       mutation = parse_mutation mutate;
       oracles = parse_oracles disabled;
       plan = parse_plan plan;
+      (* Campaign cases never dump bundles; only the final (minimized)
+         witness does, via a bundle-armed re-run below. *)
+      bundle_dir = None;
     }
   in
   let fcfg = { Fuzz.base; budget; seed = fuzz_seed; stop_on_failure = true } in
@@ -744,6 +799,24 @@ let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
         | Some m -> m.Minimize.replay
         | None -> Sweep.replay_command fcfg' fcase
       in
+      (* Forensic bundle for the final witness: re-run the minimized case
+         (or the original failure when minimization was skipped or came up
+         empty) with the bundle dump armed. The re-run is deterministic,
+         so the verdict matches what the campaign saw. *)
+      let bundle =
+        match bundle_dir with
+        | None -> None
+        | Some dir ->
+            let wcfg, wcase =
+              match minimized with
+              | Some m -> (m.Minimize.cfg, m.Minimize.case)
+              | None -> (fcfg', fcase)
+            in
+            let wv =
+              Sweep.run_case { wcfg with Sweep.bundle_dir = Some dir } wcase
+            in
+            wv.Sweep.bundle
+      in
       if json then begin
         (match minimized with
         | None -> ()
@@ -776,6 +849,8 @@ let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
                   ("corpus_size", J.Int (List.length result.Fuzz.corpus));
                   ("failure", J.Bool true);
                   ("replay", J.Str replay);
+                  ( "bundle",
+                    match bundle with Some p -> J.Str p | None -> J.Null );
                   ("ok", J.Bool false);
                 ]))
       end
@@ -792,6 +867,9 @@ let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
               (match m.Minimize.cfg.Sweep.plan with
               | Some p -> List.length p.Core.Faults.Plan.specs
               | None -> 0));
+        (match bundle with
+        | Some p -> Format.printf "@.bundle: %s@." p
+        | None -> ());
         Format.printf "@.replay: %s@." replay
       end;
       1
@@ -897,13 +975,82 @@ let chaos_cmd =
     let doc = "Per-CPU event-ring capacity for the GP-latency histogram." in
     Arg.(value & opt int 16_384 & info [ "ring" ] ~docv:"N" ~doc)
   in
+  let bundle_dir =
+    let doc =
+      "Arm the flight recorder and dump a forensic bundle into $(docv) for \
+       every outcome whose mitigations fired (safety violation, OOM, \
+       emergency flush, OOM delay or stall warning); render bundles with \
+       the postmortem subcommand."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "bundle-dir" ] ~docv:"DIR" ~doc)
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run fault-injection scenarios over the selected reclamation \
           schemes and print a survival/degradation report (RCU stall \
           warnings, grace-period p99, backoff retries, emergency flushes)")
-    Term.(const run_chaos $ names $ alloc $ ring $ params_term)
+    Term.(const run_chaos $ names $ alloc $ ring $ bundle_dir $ params_term)
+
+let anatomy_cmd =
+  let scenario =
+    Arg.(
+      value & pos 0 string "clean"
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario to dissect (clean, stalled-reader, cb-flood, \
+                pressure-spike, alloc-fault; default clean).")
+  in
+  let alloc =
+    let doc =
+      "Reclamation scheme(s): slub, prudence, ebr-debra, hyaline, or all \
+       (default; 'both' also maps to all four here)."
+    in
+    Arg.(value & opt string "all" & info [ "alloc" ] ~docv:"KIND" ~doc)
+  in
+  let ring =
+    let doc = "Per-CPU event-ring capacity." in
+    Arg.(value & opt int 16_384 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  let json =
+    let doc =
+      "Machine-readable output: one NDJSON 'phase' object per (scheme, \
+       phase), one 'total' and one 'worst_gp' per scheme, one trailing \
+       'summary' line with the sum-identity verdict."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "anatomy"
+       ~doc:
+         "Grace-period anatomy: run one chaos scenario under each \
+          reclamation scheme with the phase tracer armed and decompose \
+          every defer-to-reuse latency into defer-request, request-start, \
+          qs-collection, complete-harvest and harvest-reuse (same schema \
+          for all four backends), with a worst-GP drill-down naming the \
+          holdout CPU; non-zero exit if the per-phase sums do not add up \
+          exactly to the totals")
+    Term.(const run_anatomy $ scenario $ alloc $ ring $ json $ params_term)
+
+let postmortem_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE"
+          ~doc:"Forensic bundle (NDJSON) written by check/fuzz \
+                --bundle-dir or chaos --bundle-dir.")
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Render a forensic bundle into a human post-mortem: the \
+          violation, a per-CPU timeline of the last trace events before \
+          it, the offending objects' lineages \
+          (deferred->harvested->reused), the anatomy of the implicated \
+          grace periods and the full metric snapshot, plus the exact \
+          replay command")
+    Term.(const run_postmortem $ file)
 
 let tournament_cmd =
   let names =
@@ -1012,6 +1159,16 @@ let check_cmd =
     let doc = "Skip the baseline-vs-Prudence differential trace replay." in
     Arg.(value & flag & info [ "skip-diff" ] ~doc)
   in
+  let bundle_dir =
+    let doc =
+      "Dump a self-contained forensic bundle (NDJSON: violation, per-CPU \
+       event window, offending object lineages, GP anatomy, metric \
+       snapshot, replay command) into $(docv) for every failing case; \
+       render with the postmortem subcommand."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "bundle-dir" ] ~docv:"DIR" ~doc)
+  in
   let cpus =
     let doc = "Simulated CPUs per run." in
     Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N" ~doc)
@@ -1034,8 +1191,8 @@ let check_cmd =
           command on any violation")
     Term.(
       const run_check $ names $ alloc $ sweeps $ shuffle_seed $ mutate
-      $ duration_ms $ pages $ disable_oracle $ plan $ skip_diff $ json
-      $ seed_arg $ cpus)
+      $ duration_ms $ pages $ disable_oracle $ plan $ skip_diff $ bundle_dir
+      $ json $ seed_arg $ cpus)
 
 let fuzz_cmd =
   let names =
@@ -1097,6 +1254,15 @@ let fuzz_cmd =
     let doc = "Report the first failure as-is instead of shrinking it." in
     Arg.(value & flag & info [ "no-minimize" ] ~doc)
   in
+  let bundle_dir =
+    let doc =
+      "On failure, re-run the final (minimized) witness with the flight \
+       recorder armed and dump its forensic bundle into $(docv); the \
+       summary NDJSON line carries the bundle path."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "bundle-dir" ] ~docv:"DIR" ~doc)
+  in
   let differential =
     let doc =
       "Differential mode: instead of the coverage-guided campaign, draw \
@@ -1132,7 +1298,7 @@ let fuzz_cmd =
     Term.(
       const run_fuzz $ names $ alloc $ budget $ fuzz_seed $ mutate
       $ shuffle_seed $ duration_ms $ pages $ disable_oracle $ plan
-      $ no_minimize $ differential $ json $ seed_arg $ cpus)
+      $ no_minimize $ differential $ bundle_dir $ json $ seed_arg $ cpus)
 
 let stat_cmd =
   let alloc =
@@ -1302,8 +1468,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "prudence-repro" ~version:Core.version ~doc)
     [
-      list_cmd; run_cmd; trace_cmd; chaos_cmd; tournament_cmd; check_cmd;
-      fuzz_cmd; stat_cmd; perf_cmd; prof_cmd; regress_cmd;
+      list_cmd; run_cmd; trace_cmd; chaos_cmd; anatomy_cmd; tournament_cmd;
+      check_cmd; fuzz_cmd; postmortem_cmd; stat_cmd; perf_cmd; prof_cmd;
+      regress_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -55,6 +55,7 @@ type config = {
   mutation : mutation;
   oracles : oracles;
   plan : Faults.Plan.t option;
+  bundle_dir : string option;
 }
 
 let default_config =
@@ -70,6 +71,7 @@ let default_config =
     mutation = No_mutation;
     oracles = all_oracles;
     plan = None;
+    bundle_dir = None;
   }
 
 (* The armed stall-detector timeout scales with the run so it can actually
@@ -98,6 +100,7 @@ type verdict = {
   survived : bool;
   replay : string;
   features : int list;
+  bundle : string option;
 }
 
 let ok v =
@@ -135,6 +138,67 @@ let plan_for cfg case =
   | Some p -> p
   | None -> W.Chaos.plan_for (chaos_config cfg case.scenario)
 
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+(* Everything in a bundle derives from virtual time and deterministic
+   counters, so the same seed and the same violation reproduce it
+   byte-for-byte (the bundle-determinism test's contract). The file name
+   is the case coordinates, so a sweep directory maps one failing
+   schedule to one bundle. *)
+let dump_bundle dir cfg env v =
+  mkdir_p dir;
+  let reason =
+    if v.oracle_violations <> [] then "oracle-violation"
+    else if v.reader_violations <> [] then "reader-violation"
+    else if v.stall_violations <> [] then "stall-violation"
+    else if v.cb_violations <> [] then "cb-violation"
+    else if v.audit_failures <> [] then "audit-failure"
+    else "dropped-violations"
+  in
+  let violations =
+    List.map Shadow.describe v.oracle_violations
+    @ v.reader_violations @ v.stall_violations @ v.cb_violations
+    @ v.audit_failures
+  in
+  let offenders =
+    List.rev
+      (List.fold_left
+         (fun acc (viol : Shadow.violation) ->
+           if List.mem_assoc viol.Shadow.oid acc then acc
+           else (viol.Shadow.oid, Shadow.describe viol) :: acc)
+         [] v.oracle_violations)
+  in
+  let metrics =
+    let reg = Stats.Registry.create () in
+    Stats.Providers.register_env reg env;
+    List.map
+      (fun ((m : Stats.Registry.metric), value) -> (m.Stats.Registry.name, value))
+      (Stats.Registry.read_all reg)
+  in
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "bundle-%s-%s-s%d%s.ndjson"
+         (W.Chaos.scenario_name v.case.scenario)
+         (W.Env.kind_label v.case.kind)
+         v.case.shuffle_seed
+         (match cfg.mutation with
+         | No_mutation -> ""
+         | m -> "-" ^ mutation_name m))
+  in
+  Obs.Bundle.write ~path ~reason ~replay:v.replay
+    ~scheme:(W.Env.kind_label v.case.kind)
+    ~at_ns:(Sim.Engine.now env.W.Env.eng)
+    ~tracer:env.W.Env.tracer ~anatomy:env.W.Env.obs ~offenders ~violations
+    ~metrics ();
+  path
+
 (* Mirrors [Workloads.Chaos.run_one] — same fault plan, same mitigations —
    but with the shuffled tie-break installed and the full verification
    stack (shadow oracle + pattern oracles + auditors) armed. *)
@@ -149,8 +213,14 @@ let run_case ?coverage cfg case =
       total_pages = cfg.total_pages;
       (* Coverage's trace-adjacency feed needs a live tracer; the sink
          sees every event regardless of ring retention, so the ring can
-         stay small. *)
-      trace = (match coverage with Some _ -> Some 1_024 | None -> None);
+         stay small. Bundling needs the flight-recorder window, so it
+         arms the tracer (and the anatomy recorder) too — both are pure
+         observation, so the verdict is identical either way. *)
+      trace =
+        (match (coverage, cfg.bundle_dir) with
+        | None, None -> None
+        | _ -> Some 1_024);
+      obs = cfg.bundle_dir <> None;
       rcu_config =
         {
           Rcu.default_config with
@@ -232,23 +302,30 @@ let run_case ?coverage cfg case =
   in
   Oracles.finalize orc;
   (match coverage with Some cov -> Coverage.finish cov | None -> ());
-  {
-    case;
-    oracle_violations = Shadow.violations oracle;
-    reader_violations = W.Env.safety_violations env;
-    stall_violations = Oracles.stall_violations orc;
-    cb_violations = Oracles.cb_violations orc;
-    audit_failures = Audit.env env;
-    dropped_violations =
-      Shadow.dropped_violations oracle
-      + Rcu.Readers.dropped_violations env.W.Env.readers
-      + Oracles.dropped_violations orc;
-    oracle_events = Shadow.events oracle;
-    updates = r.W.Endurance.updates;
-    survived = r.W.Endurance.oom_at_ns = None;
-    replay = replay_command cfg case;
-    features = (match coverage with Some cov -> Coverage.features cov | None -> []);
-  }
+  let v =
+    {
+      case;
+      oracle_violations = Shadow.violations oracle;
+      reader_violations = W.Env.safety_violations env;
+      stall_violations = Oracles.stall_violations orc;
+      cb_violations = Oracles.cb_violations orc;
+      audit_failures = Audit.env env;
+      dropped_violations =
+        Shadow.dropped_violations oracle
+        + Rcu.Readers.dropped_violations env.W.Env.readers
+        + Oracles.dropped_violations orc;
+      oracle_events = Shadow.events oracle;
+      updates = r.W.Endurance.updates;
+      survived = r.W.Endurance.oom_at_ns = None;
+      replay = replay_command cfg case;
+      features =
+        (match coverage with Some cov -> Coverage.features cov | None -> []);
+      bundle = None;
+    }
+  in
+  match cfg.bundle_dir with
+  | Some dir when not (ok v) -> { v with bundle = Some (dump_bundle dir cfg env v) }
+  | Some _ | None -> v
 
 let cases cfg =
   List.concat_map
@@ -296,6 +373,9 @@ let pp_verdict ppf v =
     if v.dropped_violations > 0 then
       Format.fprintf ppf "@,(plus %d violation(s) past the log bound)"
         v.dropped_violations;
+    (match v.bundle with
+    | Some p -> Format.fprintf ppf "@,bundle: %s" p
+    | None -> ());
     Format.fprintf ppf "@,replay: %s@]" v.replay
   end
 

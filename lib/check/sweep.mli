@@ -74,6 +74,13 @@ type config = {
       (** Fault-plan override; [None] = the scenario's default plan. Set
           by the fuzzer (mutated plans) and the minimizer (shrunk plans);
           included in replay commands as [--plan='...']. *)
+  bundle_dir : string option;
+      (** When set, every failing case dumps a forensic bundle
+          ([Obs.Bundle], NDJSON) into this directory — named
+          [bundle-<scenario>-<alloc>-s<shuffle>[-<mutation>].ndjson] —
+          and the verdict carries its path. Arms the tracer and the
+          anatomy recorder (pure observation: the verdict is identical
+          either way). [None] (default): no bundles. *)
 }
 
 val default_config : config
@@ -110,6 +117,9 @@ type verdict = {
   features : int list;
       (** Coverage features observed (sorted); [[]] unless a coverage set
           was passed to {!run_case}. *)
+  bundle : string option;
+      (** Path of the forensic bundle written for this failing case;
+          [None] when the case passed or [bundle_dir] was unset. *)
 }
 
 val ok : verdict -> bool

@@ -1,0 +1,58 @@
+(** Grace-period anatomy reports: one chaos scenario per SMR backend with
+    the {!Obs.Anatomy} recorder armed, rendered as per-backend phase
+    tables (count / p50 / p99 / mean / sum per {!Obs.Phase}), a worst-GP
+    drill-down naming the holdout CPU, and an NDJSON stream for CI.
+
+    Every backend reports the same five-phase schema; the clamped-edge
+    decomposition makes the per-phase sums add up {e exactly} to the
+    total defer->reuse latency, which both the table footer and the
+    NDJSON [summary.sum_identity] flag assert. *)
+
+type result = {
+  kind : Workloads.Env.kind;
+  outcome : Workloads.Chaos.outcome;
+  obs : Obs.Anatomy.t;
+}
+
+val run :
+  ?kinds:Workloads.Env.kind list ->
+  Chaos.params ->
+  Workloads.Chaos.scenario ->
+  result list
+(** Run the scenario once per kind (default: all four backends) with
+    [obs = true] and return the armed recorders. *)
+
+val phase_sum : Obs.Anatomy.t -> int
+(** Sum of all five phase histograms' sums — equals
+    [Trace.Hist.sum (total_hist _)] by construction. *)
+
+val sum_identity_ok : result list -> bool
+(** The exact sum identity holds on every backend. *)
+
+val report_results :
+  Workloads.Chaos.scenario -> result list -> Metrics.Report.t
+(** Render already-computed results (lets a caller reuse one {!run} for
+    the table, the NDJSON and the exit code). *)
+
+val json_of_results : Workloads.Chaos.scenario -> result list -> string list
+
+val report :
+  ?kinds:Workloads.Env.kind list ->
+  Chaos.params ->
+  Workloads.Chaos.scenario ->
+  Metrics.Report.t
+
+val json_lines :
+  ?kinds:Workloads.Env.kind list ->
+  Chaos.params ->
+  Workloads.Chaos.scenario ->
+  string list
+(** NDJSON lines: [phase] (scheme, phase, count, p50_ns, p99_ns, mean_ns,
+    sum_ns), [total], [worst_gp] (cookie, edge stamps, holdout CPU), and
+    a final [summary] with [sum_identity]. *)
+
+val to_ndjson :
+  ?kinds:Workloads.Env.kind list ->
+  Chaos.params ->
+  Workloads.Chaos.scenario ->
+  string

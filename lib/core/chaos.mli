@@ -22,10 +22,22 @@ val run_scenario :
   Workloads.Chaos.outcome * Workloads.Chaos.outcome
 (** (baseline, prudence) outcomes for one scenario. *)
 
+val mitigation_reason : Workloads.Chaos.outcome -> string option
+(** The (most severe) reason this outcome merits a forensic bundle:
+    safety violation, OOM, emergency flush, OOM delay or stall warning;
+    [None] when no mitigation fired. *)
+
 val report :
   ?kinds:Workloads.Env.kind list ->
+  ?bundle_dir:string ->
   params -> Workloads.Chaos.scenario list -> Metrics.Report.t
 (** One report with one row per (scenario, kind); [kinds] defaults to
     [[Baseline; Prudence_alloc]], reproducing the classic two-row
     slub/prudence matrix byte-identically. Deterministic: same params,
-    scenarios and kinds render byte-identical output. *)
+    scenarios and kinds render byte-identical output.
+
+    With [bundle_dir], each run is armed with the {!Obs.Anatomy}
+    recorder (pure observation; rows unchanged) and every outcome whose
+    {!mitigation_reason} is set dumps an {!Obs.Bundle} forensic bundle
+    — [bundle-chaos-<scenario>-<alloc>.ndjson] — listed at the foot of
+    the report body. *)

@@ -15,11 +15,13 @@ module Prudence = Prudence
 module Faults = Faults
 module Rcudata = Rcudata
 module Workloads = Workloads
+module Obs = Obs
 module Check = Check
 module Metrics = Metrics
 module Stats = Stats
 module Experiments = Experiments
 module Chaos = Chaos
 module Tournament = Tournament
+module Anatomy = Anatomy
 
 let version = "1.0.0"

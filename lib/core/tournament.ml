@@ -5,6 +5,8 @@ type cell = {
   reuse_p50_ns : int option;
   reuse_p99_ns : int option;
   gp_p99_ns : int option;
+  obs : Obs.Anatomy.t;
+      (* Armed anatomy recorder: the phase columns come from here. *)
 }
 
 (* "Limbo" unifies the two places a deferred object can wait: the latent
@@ -27,12 +29,16 @@ let cell_of kind (o : Workloads.Chaos.outcome) =
     reuse_p50_ns = Trace.Hist.percentile_opt (Trace.lifetime tracer) 50.;
     reuse_p99_ns = Trace.Hist.percentile_opt (Trace.lifetime tracer) 99.;
     gp_p99_ns = Trace.Hist.percentile_opt (Trace.gp_latency tracer) 99.;
+    obs = env.Workloads.Env.obs;
   }
+
+let phase_p99 c p =
+  Trace.Hist.percentile_opt (Obs.Anatomy.phase_hist c.obs p) 99.
 
 let run ?(kinds = Workloads.Env.all_kinds) p scenarios =
   List.concat_map
     (fun s ->
-      let cfg = Chaos.config_for p s in
+      let cfg = { (Chaos.config_for p s) with Workloads.Chaos.obs = true } in
       List.map (fun k -> cell_of k (Workloads.Chaos.run_one cfg k)) kinds)
     scenarios
 
@@ -47,7 +53,8 @@ let fmt_us_opt = function
 let header =
   [
     "scenario"; "scheme"; "outcome"; "updates"; "limbo@end"; "reuse p50";
-    "reuse p99"; "gp p99"; "flush/objs"; "oom-delay"; "viol"; "peak MiB";
+    "reuse p99"; "gp p99"; "qs p99"; "harv p99"; "flush/objs"; "oom-delay";
+    "viol"; "peak MiB";
   ]
 
 let row c =
@@ -64,6 +71,8 @@ let row c =
     fmt_us_opt c.reuse_p50_ns;
     fmt_ms_opt c.reuse_p99_ns;
     fmt_ms_opt c.gp_p99_ns;
+    fmt_ms_opt (phase_p99 c Obs.Phase.Qs_collection);
+    fmt_ms_opt (phase_p99 c Obs.Phase.Complete_to_harvest);
     Printf.sprintf "%s/%s"
       (Metrics.Table.fmt_i o.emergency_flushes)
       (Metrics.Table.fmt_i o.emergency_flushed_objs);
@@ -128,6 +137,11 @@ let cell_json c =
       ("reuse_p50_ns", opt c.reuse_p50_ns);
       ("reuse_p99_ns", opt c.reuse_p99_ns);
       ("gp_p99_ns", opt c.gp_p99_ns);
+      ( "phase_p99_ns",
+        J.Obj
+          (List.map
+             (fun p -> (Obs.Phase.name p, opt (phase_p99 c p)))
+             Obs.Phase.all) );
       ("stall_warnings", J.Int o.Workloads.Chaos.stall_warnings);
       ("grow_retries", J.Int o.Workloads.Chaos.grow_retries);
       ("emergency_flushes", J.Int o.Workloads.Chaos.emergency_flushes);

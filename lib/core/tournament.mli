@@ -21,13 +21,21 @@ type cell = {
   reuse_p99_ns : int option;
   gp_p99_ns : int option;
       (** RCU grace-period p99; [None] for schemes that never ran one. *)
+  obs : Obs.Anatomy.t;
+      (** The cell's armed anatomy recorder: source of the per-phase
+          latency columns ({!phase_p99}) and the NDJSON [phase_p99_ns]
+          object. *)
 }
 
 val run :
   ?kinds:Workloads.Env.kind list ->
   Chaos.params -> Workloads.Chaos.scenario list -> cell list
 (** Every scenario x kind cell, scenarios outermost. [kinds] defaults to
-    {!Workloads.Env.all_kinds}. *)
+    {!Workloads.Env.all_kinds}. Arms the {!Obs.Anatomy} recorder on each
+    run (pure observation: outcomes are unchanged). *)
+
+val phase_p99 : cell -> Obs.Phase.t -> int option
+(** 99th-percentile latency of one anatomy phase for this cell. *)
 
 val report :
   ?kinds:Workloads.Env.kind list ->

@@ -1,0 +1,12 @@
+(** Observability layer: grace-period anatomy and post-mortem forensics.
+
+    {!Phase} names the five-phase latency decomposition of a deferred
+    object's life (the paper's Fig. 6 axis); {!Anatomy} is the tracer /
+    flight recorder that attributes every grace period and object
+    lineage to those phases across all SMR backends; {!Bundle} is the
+    dump-on-violation forensic bundle writer and its [postmortem]
+    renderer. *)
+
+module Phase = Phase
+module Anatomy = Anatomy
+module Bundle = Bundle

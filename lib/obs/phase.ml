@@ -1,0 +1,52 @@
+type t =
+  | Defer_to_request
+  | Request_to_start
+  | Qs_collection
+  | Complete_to_harvest
+  | Harvest_to_reuse
+
+let all =
+  [
+    Defer_to_request;
+    Request_to_start;
+    Qs_collection;
+    Complete_to_harvest;
+    Harvest_to_reuse;
+  ]
+
+let count = 5
+
+let index = function
+  | Defer_to_request -> 0
+  | Request_to_start -> 1
+  | Qs_collection -> 2
+  | Complete_to_harvest -> 3
+  | Harvest_to_reuse -> 4
+
+let name = function
+  | Defer_to_request -> "defer-request"
+  | Request_to_start -> "request-start"
+  | Qs_collection -> "qs-collection"
+  | Complete_to_harvest -> "complete-harvest"
+  | Harvest_to_reuse -> "harvest-reuse"
+
+let of_name = function
+  | "defer-request" -> Some Defer_to_request
+  | "request-start" -> Some Request_to_start
+  | "qs-collection" -> Some Qs_collection
+  | "complete-harvest" -> Some Complete_to_harvest
+  | "harvest-reuse" -> Some Harvest_to_reuse
+  | _ -> None
+
+let describe = function
+  | Defer_to_request ->
+      "object deferred until grace-period detection is requested"
+  | Request_to_start ->
+      "detection requested until the detection cycle begins (GP start / \
+       epoch-advance attempt / batch seal)"
+  | Qs_collection ->
+      "detection cycle start until the last holdout CPU reports (QS sweep / \
+       epoch scan / batch-ref settling)"
+  | Complete_to_harvest ->
+      "grace period complete until the object is harvested into a free pool"
+  | Harvest_to_reuse -> "free pool until the memory is handed to a new owner"

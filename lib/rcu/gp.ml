@@ -52,6 +52,14 @@ type pcpu = {
   mutable softirq_scheduled : bool;
 }
 
+type obs = {
+  obs_request : unit -> unit;
+  obs_start : seq:int -> unit;
+  obs_qs : cpu:int -> remaining:int -> unit;
+}
+(* Grace-period anatomy taps (Obs.Anatomy). Pure observation: fired behind
+   one load-and-branch, never consume virtual time. *)
+
 type t = {
   machine : Sim.Machine.t;
   engine : Sim.Engine.t;
@@ -72,6 +80,7 @@ type t = {
       (* fired at outermost read-side entry/exit; lets epoch-based SMR
          schemes observe reader quiescence without touching the
          read-side fast path when unset *)
+  mutable obs : obs option;
   (* stats *)
   mutable s_gps_started : int;
   mutable s_gps_completed : int;
@@ -119,6 +128,7 @@ let poll t cookie = t.completed_gps >= cookie
 let on_gp_complete t fn = t.gp_hooks <- t.gp_hooks @ [ fn ]
 
 let set_section_hooks t hooks = t.section_hooks <- hooks
+let set_obs t obs = t.obs <- obs
 
 let read_lock t (cpu : Sim.Machine.cpu) =
   (match t.section_hooks with
@@ -172,6 +182,7 @@ let rec start_gp t =
   t.gp_requested <- false;
   t.s_gps_started <- t.s_gps_started + 1;
   t.gp_started_at <- now t;
+  (match t.obs with Some o -> o.obs_start ~seq:t.s_gps_started | None -> ());
   (let tr = tracer t in
    if Trace.enabled tr then
      Trace.emit tr ~time:t.gp_started_at ~cpu:(-1) ~arg:t.s_gps_started
@@ -242,14 +253,19 @@ let quiescent_state t (cpu : Sim.Machine.cpu) =
   if t.gp_active && t.qs_needed.(cpu.id) then begin
     t.qs_needed.(cpu.id) <- false;
     t.qs_remaining <- t.qs_remaining - 1;
+    (match t.obs with
+    | Some o -> o.obs_qs ~cpu:cpu.id ~remaining:t.qs_remaining
+    | None -> ());
     if t.qs_remaining = 0 then complete_gp t
   end;
   Prof.exit (prof t) Prof.Span.Rcu_qs
 
 let request_gp t =
+  (match t.obs with Some o -> o.obs_request () | None -> ());
   if t.gp_active then t.gp_requested <- true else start_gp t
 
 let call_rcu t (cpu : Sim.Machine.cpu) fn =
+  (match t.obs with Some o -> o.obs_request () | None -> ());
   let cookie = snapshot t in
   let pc = t.percpu.(cpu.id) in
   let lost =
@@ -378,6 +394,7 @@ let create ?(config = default_config) machine =
       gp_cond = Sim.Process.Cond.create (Sim.Machine.engine machine);
       gp_hooks = [];
       section_hooks = None;
+      obs = None;
       s_gps_started = 0;
       s_gps_completed = 0;
       s_cbs_queued = 0;

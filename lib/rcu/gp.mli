@@ -79,6 +79,26 @@ val set_section_hooks :
     injector's stalled readers. [None] (the default) leaves the
     read-side fast path untouched. *)
 
+type obs = {
+  obs_request : unit -> unit;
+      (** Grace-period detection was requested ({!call_rcu} or
+          {!request_gp}); fires before the token is issued. *)
+  obs_start : seq:int -> unit;
+      (** Grace period [seq] (1-based start ordinal) began its QS sweep.
+          [seq] completes as frontier value [seq]. *)
+  obs_qs : cpu:int -> remaining:int -> unit;
+      (** [cpu] reported a quiescent state for the active grace period;
+          [remaining] CPUs are still holdouts ([0] = this report completes
+          the sweep). *)
+}
+(** Grace-period anatomy taps for the observability layer ([Obs.Anatomy]).
+    Must be pure observation: fired synchronously behind one
+    load-and-branch, never consuming virtual time, so an instrumented run
+    stays byte-identical to an uninstrumented one. *)
+
+val set_obs : t -> obs option -> unit
+(** Install (or clear) the anatomy taps. At most one observer. *)
+
 (** {1 Update side} *)
 
 val call_rcu : t -> Sim.Machine.cpu -> (unit -> unit) -> unit

@@ -36,6 +36,14 @@ type config = {
 let default_config =
   { advance_every = 64; poll_period_ns = 100_000; unsafe_no_scan = false }
 
+type obs = {
+  obs_attempt : unit -> unit;
+  obs_blocked : cpu:int -> unit;
+}
+(* Anatomy taps (Obs.Anatomy): an advancement attempt while tokens are
+   outstanding, and the pinned CPUs whose stale announcements blocked a
+   failed scan. Pure observation, one load-and-branch when uninstalled. *)
+
 type t = {
   engine : Sim.Engine.t;
   cfg : config;
@@ -49,6 +57,7 @@ type t = {
   mutable backend_hooks : (int -> unit) list;
   mutable poller_armed : bool;
   cond : Sim.Process.Cond.t;
+  mutable obs : obs option;
 }
 
 let create ?(config = default_config) ~cpus engine =
@@ -65,7 +74,10 @@ let create ?(config = default_config) ~cpus engine =
     backend_hooks = [];
     poller_armed = false;
     cond = Sim.Process.Cond.create engine;
+    obs = None;
   }
+
+let set_obs t obs = t.obs <- obs
 
 let frontier t = t.epoch - 2
 
@@ -92,7 +104,16 @@ let try_advance t =
     t.cfg.unsafe_no_scan && t.unsafe_epoch - 2 < t.last_issued
   in
   if unsafe_adv then t.unsafe_epoch <- t.unsafe_epoch + 1;
-  let adv = frontier t < t.last_issued && scan_clear t in
+  let want = frontier t < t.last_issued in
+  (match t.obs with Some o when want -> o.obs_attempt () | _ -> ());
+  let adv = want && scan_clear t in
+  (match t.obs with
+  | Some o when want && not adv ->
+      Array.iteri
+        (fun i pinned ->
+          if pinned && t.announced.(i) <> t.epoch then o.obs_blocked ~cpu:i)
+        t.pinned
+  | _ -> ());
   if adv then begin
     t.epoch <- t.epoch + 1;
     if not t.cfg.unsafe_no_scan then t.unsafe_epoch <- t.epoch

@@ -20,6 +20,7 @@ type env = {
          makes the baseline collapse at large object sizes (Fig. 6). *)
   mutable reuse_check : (int -> unit) option;
   mutable probe : probe option;
+  mutable obs_probe : probe option;
   mutable grow_retry : grow_retry_policy option;
   mutable debug_checks : bool;
   mutable unsafe_destroy_latent : bool;
@@ -37,6 +38,7 @@ let make_env ?pressure ?(costs = Costs.default) ?(debug_checks = true) machine
     page_lock = Sim.Simlock.create ~name:"page-allocator";
     reuse_check = None;
     probe = None;
+    obs_probe = None;
     grow_retry = None;
     debug_checks;
     unsafe_destroy_latent = false;
@@ -347,7 +349,10 @@ let take_free_obj slab =
    must vet (a deferred object becoming reusable) passes through one of
    these, whichever allocator policy drives it. *)
 let probe_pool env obj =
-  match env.probe with
+  (match env.probe with
+  | Some p -> p.on_pool ~oid:obj.oid ~cookie:obj.gp_cookie
+  | None -> ());
+  match env.obs_probe with
   | Some p -> p.on_pool ~oid:obj.oid ~cookie:obj.gp_cookie
   | None -> ()
 
@@ -405,6 +410,9 @@ let hand_to_user cache (cpu : Sim.Machine.cpu) obj =
   (match cache.env.probe with
   | Some p -> p.on_alloc ~oid:obj.oid
   | None -> ());
+  (match cache.env.obs_probe with
+  | Some p -> p.on_alloc ~oid:obj.oid
+  | None -> ());
   (* Working sets beyond the LLC make every object touch a cache/TLB miss;
      an allocator that leaks its reclamation backlog pays this on every
      allocation. *)
@@ -436,12 +444,18 @@ let release_from_user cache obj =
   (match cache.env.probe with
   | Some p -> p.on_free ~oid:obj.oid
   | None -> ());
+  (match cache.env.obs_probe with
+  | Some p -> p.on_free ~oid:obj.oid
+  | None -> ());
   assert (obj.ostate = Allocated);
   cache.live_objs <- cache.live_objs - 1;
   ignore obj
 
 let stamp_deferred cache obj ~cookie =
   (match cache.env.probe with
+  | Some p -> p.on_defer ~oid:obj.oid ~cookie
+  | None -> ());
+  (match cache.env.obs_probe with
   | Some p -> p.on_defer ~oid:obj.oid ~cookie
   | None -> ());
   assert (obj.ostate = Allocated);
@@ -617,12 +631,16 @@ let destroy_slab cache slab =
   (* The page-reuse boundary: report objects still deferred on this page
      before it goes back to the buddy. Empty on every non-mutated run
      (truly-free slabs have no latent objects). *)
-  (match cache.env.probe with
-  | Some p when slab.latent_n > 0 ->
-      let oids = ref [] in
-      Latq.iter (fun o -> oids := (o.oid, o.gp_cookie) :: !oids) slab.latent_objs;
-      p.on_page_release ~oids:!oids
-  | Some _ | None -> ());
+  (if slab.latent_n > 0 then
+     let fire p =
+       let oids = ref [] in
+       Latq.iter
+         (fun o -> oids := (o.oid, o.gp_cookie) :: !oids)
+         slab.latent_objs;
+       p.on_page_release ~oids:!oids
+     in
+     (match cache.env.probe with Some p -> fire p | None -> ());
+     match cache.env.obs_probe with Some p -> fire p | None -> ());
   (* Scrub the latent bookkeeping the mutated path orphans, so the cache
      counters stay conserved and only the page-level oracle can tell. *)
   if slab.latent_n > 0 then begin

@@ -60,6 +60,11 @@ type env = {
           handed to a mutator; wired to {!Rcu.Readers.check_reusable}. *)
   mutable probe : probe option;
       (** Shadow-heap verification probes; see {!probe}. *)
+  mutable obs_probe : probe option;
+      (** Second, independent probe slot for the observability layer's
+          flight recorder ([Obs.Anatomy]) — fires at the same five
+          sites, after {!probe}, so the safety oracle and the lineage
+          recorder can coexist on one environment. *)
   mutable grow_retry : grow_retry_policy option;
       (** When set, {!grow} retries transient page-alloc failures (those
           {!Mem.Buddy.would_satisfy} proves injected, not genuine

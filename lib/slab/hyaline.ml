@@ -34,6 +34,15 @@ let default_config =
 
 type batch = { id : int; mutable refs : int }
 
+type obs = {
+  obs_seal : batch:int -> refs:int -> unit;
+  obs_unref : batch:int -> cpu:int -> refs:int -> unit;
+}
+(* Anatomy taps (Obs.Anatomy): a batch sealing with its initial reader
+   credit, and each reader decrement — the last decrement to zero is the
+   batch's holdout. Pure observation, one load-and-branch when
+   uninstalled. *)
+
 type t = {
   engine : Sim.Engine.t;
   cfg : config;
@@ -49,6 +58,7 @@ type t = {
   mutable backend_hooks : (int -> unit) list;
   mutable poller_armed : bool;
   cond : Sim.Process.Cond.t;
+  mutable obs : obs option;
 }
 
 let create ?(config = default_config) ~cpus engine =
@@ -67,7 +77,10 @@ let create ?(config = default_config) ~cpus engine =
     backend_hooks = [];
     poller_armed = false;
     cond = Sim.Process.Cond.create engine;
+    obs = None;
   }
+
+let set_obs t obs = t.obs <- obs
 
 let frontier t = t.frontier
 
@@ -106,6 +119,9 @@ let seal t =
           t.credited.(i) <- b :: t.credited.(i)
         end)
       t.active;
+    (match t.obs with
+    | Some o -> o.obs_seal ~batch:b.id ~refs:b.refs
+    | None -> ());
     Queue.push b t.sealed_q;
     t.sealed_upto <- b.id;
     t.open_id <- t.open_id + 1;
@@ -151,7 +167,13 @@ let reader_exit t (cpu : Sim.Machine.cpu) =
   (match t.credited.(i) with
   | [] -> ()
   | batches ->
-      List.iter (fun b -> b.refs <- b.refs - 1) batches;
+      List.iter
+        (fun b ->
+          b.refs <- b.refs - 1;
+          match t.obs with
+          | Some o -> o.obs_unref ~batch:b.id ~cpu:i ~refs:b.refs
+          | None -> ())
+        batches;
       t.credited.(i) <- [];
       advance_frontier t)
 

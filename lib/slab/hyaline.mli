@@ -25,6 +25,22 @@ val backend_frontier : t -> int
 val last_issued : t -> int
 val seal : t -> unit
 
+type obs = {
+  obs_seal : batch:int -> refs:int -> unit;
+      (** Batch [batch] sealed, credited with [refs] active readers —
+          the start of its settling cycle. *)
+  obs_unref : batch:int -> cpu:int -> refs:int -> unit;
+      (** Reader on [cpu] released its credit on [batch]; [refs] remain
+          ([0] = this decrement lets the frontier pass the batch — the
+          holdout report). *)
+}
+(** Anatomy taps for the observability layer ([Obs.Anatomy]). Pure
+    observation behind one load-and-branch; never consumes virtual
+    time. *)
+
+val set_obs : t -> obs option -> unit
+(** Install (or clear) the anatomy taps. At most one observer. *)
+
 val smr : t -> Smr.t
 (** The allocator's view: honest unless [unsafe_drop_refs]. *)
 

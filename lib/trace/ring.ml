@@ -33,10 +33,27 @@ let iter t f =
     | None -> assert false
   done
 
+let iter_rev t f =
+  for i = t.len - 1 downto 0 do
+    match t.buf.((t.head + i) mod t.capacity) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
 let to_list t =
   let acc = ref [] in
   iter t (fun x -> acc := x :: !acc);
   List.rev !acc
+
+let recent t n =
+  let n = min (max n 0) t.len in
+  let acc = ref [] in
+  for i = t.len - 1 downto t.len - n do
+    match t.buf.((t.head + i) mod t.capacity) with
+    | Some x -> acc := x :: !acc
+    | None -> assert false
+  done;
+  !acc
 
 let clear t =
   Array.fill t.buf 0 t.capacity None;

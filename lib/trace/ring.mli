@@ -19,7 +19,16 @@ val push : 'a t -> 'a -> unit
 val iter : 'a t -> ('a -> unit) -> unit
 (** Iterate oldest to newest. *)
 
+val iter_rev : 'a t -> ('a -> unit) -> unit
+(** Iterate newest to oldest. *)
+
 val to_list : 'a t -> 'a list
 (** Contents, oldest first. *)
+
+val recent : 'a t -> int -> 'a list
+(** [recent t n]: the newest [min n (length t)] elements, oldest first —
+    the tail of {!to_list} without materializing the whole ring, so
+    newest-window dumps of a large ring stay O(n). Negative [n] is
+    treated as 0. *)
 
 val clear : 'a t -> unit

@@ -76,5 +76,11 @@ let events t =
     (fun (a : Event.t) (b : Event.t) -> compare a.Event.time b.Event.time)
     (List.rev all)
 
+let recent_events t ~cpu n =
+  if not t.enabled then []
+  else
+    let idx = if cpu >= 0 && cpu < t.ncpus then cpu else t.ncpus in
+    Ring.recent t.rings.(idx) n
+
 let total_events t = Array.fold_left (fun acc r -> acc + Ring.length r) 0 t.rings
 let total_dropped t = Array.fold_left (fun acc r -> acc + Ring.dropped r) 0 t.rings

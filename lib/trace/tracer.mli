@@ -52,5 +52,11 @@ val alloc_cost : t -> Hist.t
 val events : t -> Event.t list
 (** All retained events, merged across rings, in virtual-time order. *)
 
+val recent_events : t -> cpu:int -> int -> Event.t list
+(** [recent_events t ~cpu n]: the newest [n] retained events of one CPU's
+    ring ([-1] for the machine-global ring), oldest first — the bounded
+    flight-recorder window; allocation is O(n) regardless of ring size.
+    Empty on the {!null} tracer. *)
+
 val total_events : t -> int
 val total_dropped : t -> int

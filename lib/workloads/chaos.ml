@@ -33,6 +33,7 @@ type config = {
   ring : int;
   prof : Prof.t;
   debug_checks : bool;
+  obs : bool;
 }
 
 let default_config ~scenario =
@@ -48,6 +49,7 @@ let default_config ~scenario =
     ring = 16_384;
     prof = Prof.null;
     debug_checks = true;
+    obs = false;
   }
 
 (* The scenario matrix, pinned to fractions of the run so any duration
@@ -155,6 +157,7 @@ let run_one cfg kind =
       trace = Some cfg.ring;
       prof = cfg.prof;
       debug_checks = cfg.debug_checks;
+      obs = cfg.obs;
     }
   in
   let env = Env.build env_cfg in

@@ -31,6 +31,10 @@ type config = {
   debug_checks : bool;
       (** Arm the frame's O(objects) invariant sweeps (default [true];
           the wall-clock benchmark harness turns it off). *)
+  obs : bool;
+      (** Arm the {!Obs.Anatomy} recorder on the built environment
+          (default [false]). Pure observation — outcomes are identical
+          either way. *)
 }
 
 val default_config : scenario:scenario -> config

@@ -32,6 +32,7 @@ type config = {
   trace : int option;
   prof : Prof.t;
   debug_checks : bool;
+  obs : bool;
 }
 
 let default_config =
@@ -52,6 +53,7 @@ let default_config =
     trace = None;
     prof = Prof.null;
     debug_checks = true;
+    obs = false;
   }
 
 type t = {
@@ -68,6 +70,7 @@ type t = {
   rng : Sim.Rng.t;
   tracer : Trace.t;
   prof : Prof.t;
+  obs : Obs.Anatomy.t;
 }
 
 let build cfg =
@@ -97,6 +100,19 @@ let build cfg =
   if cfg.track_readers then
     fenv.Slab.Frame.reuse_check <-
       Some (fun oid -> Rcu.Readers.check_reusable readers ~oid ~where:"alloc");
+  (* The anatomy recorder observes the frame (lineages), the backend's
+     detection hooks (phase edges) and the truthful frontier. Pure
+     observation: deterministic counters are identical with it on or
+     off. *)
+  let obs =
+    if cfg.obs then
+      Obs.Anatomy.create ~scheme:(kind_label cfg.kind)
+        ~now:(fun () -> Sim.Engine.now eng)
+        ()
+    else Obs.Anatomy.null
+  in
+  if Obs.Anatomy.enabled obs then
+    fenv.Slab.Frame.obs_probe <- Some (Obs.Anatomy.probe obs);
   (* [smr] is the truthful reclamation view: identical to the
      allocator's view except under an unsafe (mutation) config, where
      the allocator consumes the corrupted frontier while oracles keep
@@ -107,6 +123,7 @@ let build cfg =
     with
     | Some enter, Some exit -> Rcu.set_section_hooks rcu (Some (enter, exit))
     | _ -> ());
+    let backend_smr = Obs.Anatomy.instrument_smr obs backend_smr in
     let p =
       Prudence.create_smr ~config:cfg.prudence_config ~label fenv backend_smr
     in
@@ -116,23 +133,30 @@ let build cfg =
   let backend, smr =
     match cfg.kind with
     | Baseline ->
+        Obs.Anatomy.install_rcu obs rcu;
         (Slab.Slub.backend (Slab.Slub.create fenv rcu), Slab.Smr.of_rcu rcu)
     | Prudence_alloc ->
+        Obs.Anatomy.install_rcu obs rcu;
         let p = Prudence.create ~config:cfg.prudence_config fenv rcu in
         (* No-op unless the config enables emergency_flush. *)
         Prudence.attach_pressure p pressure;
         (Prudence.backend p, Slab.Smr.of_rcu rcu)
     | Ebr_debra ->
         let e = Slab.Ebr.create ~config:cfg.ebr_config ~cpus:cfg.cpus eng in
+        Obs.Anatomy.install_ebr obs e;
         wire_epoch_prudence ~label:"ebr-debra" ~backend_smr:(Slab.Ebr.smr e)
           ~oracle_smr:(Slab.Ebr.oracle_smr e)
     | Hyaline_alloc ->
         let h =
           Slab.Hyaline.create ~config:cfg.hyaline_config ~cpus:cfg.cpus eng
         in
+        Obs.Anatomy.install_hyaline obs h;
         wire_epoch_prudence ~label:"hyaline" ~backend_smr:(Slab.Hyaline.smr h)
           ~oracle_smr:(Slab.Hyaline.oracle_smr h)
   in
+  (* Grace-period completion observed on the truthful view, so the
+     anatomy stays honest under frontier-corrupting mutations. *)
+  Obs.Anatomy.observe_frontier obs smr;
   {
     cfg;
     eng;
@@ -147,6 +171,7 @@ let build cfg =
     rng = Sim.Rng.split (Sim.Engine.rng eng);
     tracer;
     prof = cfg.prof;
+    obs;
   }
 
 let cpu t i = Sim.Machine.cpu t.machine i

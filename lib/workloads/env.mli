@@ -44,6 +44,12 @@ type config = {
   debug_checks : bool;
       (** Arm {!Slab.Frame.check_invariants}' O(objects) sweeps (default
           [true]; the wall-clock benchmark harness turns it off). *)
+  obs : bool;
+      (** Arm the {!Obs.Anatomy} grace-period anatomy tracer / flight
+          recorder (default [false]: the shared {!Obs.Anatomy.null}
+          instance, one load-and-branch per hook site). Pure
+          observation — deterministic counters are byte-identical with
+          it on or off. *)
 }
 
 val default_config : config
@@ -67,6 +73,10 @@ type t = {
   rng : Sim.Rng.t;
   tracer : Trace.t;  (** The machine's tracer; {!Trace.null} when off. *)
   prof : Prof.t;  (** The installed profiler; {!Prof.null} when off. *)
+  obs : Obs.Anatomy.t;
+      (** The anatomy recorder; {!Obs.Anatomy.null} when off. Observes
+          the frame's [obs_probe], the backend's detection taps, and the
+          truthful frontier ([smr]). *)
 }
 
 val build : config -> t

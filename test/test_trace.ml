@@ -116,6 +116,29 @@ let prop_hist_mean_bounded =
       float_of_int (Trace.Hist.min_value h) <= m
       && m <= float_of_int (Trace.Hist.max_value h))
 
+(* Reverse iteration and the bounded newest-n window against the list
+   model, wraparound included: the ring keeps the last [cap] pushes,
+   [iter_rev] visits them newest-first, and [recent n] returns the
+   newest [n] in oldest-first order (clamping n to [0, length]). *)
+let prop_ring_rev_recent_model =
+  QCheck.Test.make ~name:"ring iter_rev/recent match the list model"
+    ~count:500
+    QCheck.(pair (int_range 1 8) (small_list small_nat))
+    (fun (cap, xs) ->
+      let r = Trace.Ring.create ~capacity:cap in
+      List.iter (Trace.Ring.push r) xs;
+      let total = List.length xs in
+      let kept = List.filteri (fun i _ -> i >= total - cap) xs in
+      let rebuilt = ref [] in
+      Trace.Ring.iter_rev r (fun x -> rebuilt := x :: !rebuilt);
+      !rebuilt = kept
+      && List.for_all
+           (fun n ->
+             let keep = min (max n 0) (List.length kept) in
+             Trace.Ring.recent r n
+             = List.filteri (fun i _ -> i >= List.length kept - keep) kept)
+           [ -1; 0; 1; (cap / 2) + 1; cap; cap + 3 ])
+
 (* ---------------- null sink ---------------- *)
 
 let test_null_sink () =
@@ -288,6 +311,7 @@ let suite =
     Alcotest.test_case "hist: empty" `Quick test_hist_empty;
     Alcotest.test_case "hist: _opt on empty and single bucket" `Quick
       test_hist_opt_queries;
+    QCheck_alcotest.to_alcotest prop_ring_rev_recent_model;
     QCheck_alcotest.to_alcotest prop_hist_roundtrip;
     QCheck_alcotest.to_alcotest prop_hist_percentile_monotonic;
     QCheck_alcotest.to_alcotest prop_hist_mean_bounded;
