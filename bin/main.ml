@@ -12,7 +12,17 @@ let list_experiments () =
     "Figs. 7-13";
   0
 
-let params scale seed cpus runs =
+(* --sched is process-global: every engine the command builds (including
+   the ones buried inside experiments and sweeps) picks it up via
+   [Engine.default_sched]. *)
+let set_sched s =
+  match Core.Sim.Engine.sched_of_string s with
+  | Some sched -> Core.Sim.Engine.default_sched := sched
+  | None ->
+      Format.eprintf "unknown scheduler %S (wheel or heap)@." s;
+      exit 2
+
+let params sched scale seed cpus runs =
   if cpus <= 0 then begin
     Format.eprintf "--cpus must be positive (got %d)@." cpus;
     exit 2
@@ -21,6 +31,7 @@ let params scale seed cpus runs =
     Format.eprintf "--runs must be positive (got %d)@." runs;
     exit 2
   end;
+  set_sched sched;
   { Core.Experiments.scale; seed; cpus; runs; trace = None }
 
 let run_experiment ids p =
@@ -220,9 +231,10 @@ let run_tournament names alloc ring out p =
   if violations = 0 then 0 else 1
 
 let run_stat alloc duration_ms sample_every capacity watch series format
-    registry_table pages scale seed cpus =
+    registry_table pages scale seed cpus sched =
   let module Live = Core.Stats.Live in
   let module Providers = Core.Stats.Providers in
+  set_sched sched;
   if cpus <= 0 then begin
     Format.eprintf "--cpus must be positive (got %d)@." cpus;
     exit 2
@@ -480,9 +492,10 @@ let parse_plan = function
           exit 2)
 
 let run_check names alloc sweeps shuffle_seed mutate duration_ms pages
-    disabled plan skip_diff bundle_dir json seed cpus =
+    disabled plan skip_diff bundle_dir json seed cpus sched =
   let module Sweep = Core.Check.Sweep in
   let module J = Core.Metrics.Json in
+  set_sched sched;
   if sweeps <= 0 || duration_ms <= 0 || pages <= 0 || cpus <= 0 then begin
     Format.eprintf
       "--sweeps, --duration-ms, --pages and --cpus must be positive@.";
@@ -663,12 +676,91 @@ let run_fuzz_differential base fcfg alloc json =
   end;
   if failed then 1 else 0
 
+let run_fuzz_cross_sched fcfg json =
+  let module Fuzz = Core.Check.Fuzz in
+  let module Sweep = Core.Check.Sweep in
+  let module J = Core.Metrics.Json in
+  if not json then
+    Format.printf
+      "cross-scheduler fuzzing: budget %d input(s) x {heap, wheel}, fuzz \
+       seed %d...@."
+      fcfg.Fuzz.budget fcfg.Fuzz.seed;
+  let progress (r : Fuzz.xsched_record) =
+    if json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("type", J.Str "xsched_case");
+                ("exec", J.Int r.Fuzz.x_exec);
+                ("origin", J.Str (Fuzz.origin_name r.Fuzz.x_origin));
+                ( "scenario",
+                  J.Str
+                    (Core.Workloads.Chaos.scenario_name
+                       r.Fuzz.x_input.Fuzz.scenario) );
+                ( "alloc",
+                  J.Str (Core.Workloads.Env.kind_label r.Fuzz.x_input.Fuzz.kind)
+                );
+                ("shuffle_seed", J.Int r.Fuzz.x_input.Fuzz.shuffle_seed);
+                ("events_heap", J.Int r.Fuzz.x_heap.Sweep.events);
+                ("events_wheel", J.Int r.Fuzz.x_wheel.Sweep.events);
+                ("agree", J.Bool r.Fuzz.x_agree);
+              ]))
+    else if not r.Fuzz.x_agree then
+      Format.printf
+        "  #%-4d %-8s %-16s/%-9s s%d DIVERGED (heap %d vs wheel %d events)@."
+        r.Fuzz.x_exec
+        (Fuzz.origin_name r.Fuzz.x_origin)
+        (Core.Workloads.Chaos.scenario_name r.Fuzz.x_input.Fuzz.scenario)
+        (Core.Workloads.Env.kind_label r.Fuzz.x_input.Fuzz.kind)
+        r.Fuzz.x_input.Fuzz.shuffle_seed r.Fuzz.x_heap.Sweep.events
+        r.Fuzz.x_wheel.Sweep.events
+  in
+  let xr = Fuzz.run_cross_sched ~progress fcfg in
+  let failed = xr.Fuzz.xsched_failure <> None in
+  if json then
+    print_endline
+      (J.to_string
+         (J.Obj
+            [
+              ("type", J.Str "summary");
+              ("mode", J.Str "cross-sched");
+              ("executed", J.Int xr.Fuzz.xsched_executed);
+              ("budget", J.Int fcfg.Fuzz.budget);
+              ("failure", J.Bool failed);
+              ("ok", J.Bool (not failed));
+            ]))
+  else begin
+    Format.printf
+      "@.%d input(s) replayed under both schedulers (%d engine runs)@."
+      xr.Fuzz.xsched_executed
+      (2 * xr.Fuzz.xsched_executed);
+    match xr.Fuzz.xsched_failure with
+    | None ->
+        Format.printf
+          "no divergence: deterministic counters and oracle verdicts \
+           identical under heap and wheel.@."
+    | Some r ->
+        Format.printf "divergence at execution %d:@." r.Fuzz.x_exec;
+        Format.printf "--- heap verdict ---@.%a@." Sweep.pp_verdict
+          r.Fuzz.x_heap;
+        Format.printf "--- wheel verdict ---@.%a@." Sweep.pp_verdict
+          r.Fuzz.x_wheel
+  end;
+  if failed then 1 else 0
+
 let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
-    pages disabled plan no_minimize differential bundle_dir json seed cpus =
+    pages disabled plan no_minimize differential cross_sched inject_sched_bug
+    bundle_dir json seed cpus sched =
   let module Sweep = Core.Check.Sweep in
   let module Fuzz = Core.Check.Fuzz in
   let module Minimize = Core.Check.Minimize in
   let module J = Core.Metrics.Json in
+  set_sched sched;
+  (* Self-test hook for the cross-scheduler differential: disable the
+     wheel's same-instant batch sort so Shuffle dispatch order diverges
+     from the heap — the replay must catch it and exit non-zero. *)
+  if inject_sched_bug then Core.Sim.Engine.debug_no_batch_sort := true;
   if budget <= 0 || duration_ms <= 0 || pages <= 0 || cpus <= 0 then begin
     Format.eprintf
       "--budget, --duration-ms, --pages and --cpus must be positive@.";
@@ -693,7 +785,8 @@ let run_fuzz names alloc budget fuzz_seed mutate shuffle_seed duration_ms
     }
   in
   let fcfg = { Fuzz.base; budget; seed = fuzz_seed; stop_on_failure = true } in
-  if differential then run_fuzz_differential base fcfg alloc json
+  if cross_sched then run_fuzz_cross_sched fcfg json
+  else if differential then run_fuzz_differential base fcfg alloc json
   else begin
   if not json then
     Format.printf
@@ -910,7 +1003,16 @@ let runs_arg =
   let doc = "Repetitions for mean +/- stdev (paper: 3)." in
   Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc)
 
-let params_term = Term.(const params $ scale_arg $ seed_arg $ cpus_arg $ runs_arg)
+let sched_arg =
+  let doc =
+    "Engine event scheduler: 'wheel' (hierarchical timer wheel, default) \
+     or 'heap' (the original 4-ary heap, kept for differential testing). \
+     Deterministic counters are identical under both."
+  in
+  Arg.(value & opt string "wheel" & info [ "sched" ] ~docv:"S" ~doc)
+
+let params_term =
+  Term.(const params $ sched_arg $ scale_arg $ seed_arg $ cpus_arg $ runs_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available experiments")
@@ -1192,7 +1294,7 @@ let check_cmd =
     Term.(
       const run_check $ names $ alloc $ sweeps $ shuffle_seed $ mutate
       $ duration_ms $ pages $ disable_oracle $ plan $ skip_diff $ bundle_dir
-      $ json $ seed_arg $ cpus)
+      $ json $ seed_arg $ cpus $ sched_arg)
 
 let fuzz_cmd =
   let names =
@@ -1273,6 +1375,23 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "differential" ] ~doc)
   in
+  let cross_sched =
+    let doc =
+      "Cross-scheduler mode: replay each fuzz input under both engine \
+       schedulers (--sched=heap and --sched=wheel) and require identical \
+       deterministic counters and oracle verdicts; any disagreement is a \
+       finding."
+    in
+    Arg.(value & flag & info [ "cross-sched" ] ~doc)
+  in
+  let inject_sched_bug =
+    let doc =
+      "Self-test: disable the wheel's same-instant batch ordering so its \
+       Shuffle dispatch order diverges from the heap's; a --cross-sched \
+       run with this flag must fail (proof the differential has teeth)."
+    in
+    Arg.(value & flag & info [ "inject-sched-bug" ] ~doc)
+  in
   let json =
     let doc =
       "Machine-readable output: one NDJSON 'case' object per execution, \
@@ -1298,7 +1417,8 @@ let fuzz_cmd =
     Term.(
       const run_fuzz $ names $ alloc $ budget $ fuzz_seed $ mutate
       $ shuffle_seed $ duration_ms $ pages $ disable_oracle $ plan
-      $ no_minimize $ differential $ bundle_dir $ json $ seed_arg $ cpus)
+      $ no_minimize $ differential $ cross_sched $ inject_sched_bug
+      $ bundle_dir $ json $ seed_arg $ cpus $ sched_arg)
 
 let stat_cmd =
   let alloc =
@@ -1356,7 +1476,7 @@ let stat_cmd =
     Term.(
       const run_stat $ alloc $ duration_ms $ sample_every $ capacity $ watch
       $ series $ format $ registry_table $ pages $ scale_arg $ seed_arg
-      $ cpus_arg)
+      $ cpus_arg $ sched_arg)
 
 let perf_cmd =
   let names =

@@ -17,8 +17,10 @@ type t =
   | Prudence_scan
   | Prudence_flush
   | Check_probe
+  | Engine_wheel_advance
+  | Engine_bucket_drain
 
-let count = 18
+let count = 20
 
 let index = function
   | Engine_dispatch -> 0
@@ -39,6 +41,8 @@ let index = function
   | Prudence_scan -> 15
   | Prudence_flush -> 16
   | Check_probe -> 17
+  | Engine_wheel_advance -> 18
+  | Engine_bucket_drain -> 19
 
 let of_index = function
   | 0 -> Engine_dispatch
@@ -59,6 +63,8 @@ let of_index = function
   | 15 -> Prudence_scan
   | 16 -> Prudence_flush
   | 17 -> Check_probe
+  | 18 -> Engine_wheel_advance
+  | 19 -> Engine_bucket_drain
   | i -> invalid_arg (Printf.sprintf "Prof.Span.of_index %d" i)
 
 let all = List.init count of_index
@@ -82,6 +88,8 @@ let name = function
   | Prudence_scan -> "prudence.scan"
   | Prudence_flush -> "prudence.flush"
   | Check_probe -> "check.probe"
+  | Engine_wheel_advance -> "engine.wheel_advance"
+  | Engine_bucket_drain -> "engine.bucket_drain"
 
 let subsystem s =
   let n = name s in

@@ -24,6 +24,12 @@ type t =
   | Prudence_scan  (** Ripeness scan of node latent-slab heads. *)
   | Prudence_flush  (** Emergency reclaim under Critical pressure. *)
   | Check_probe  (** Shadow-heap oracle probe handlers (checker overhead). *)
+  | Engine_wheel_advance
+      (** Timer-wheel cursor advance: bitmap scan, cascades, overflow
+          refill (wheel scheduler only). *)
+  | Engine_bucket_drain
+      (** Same-instant bucket extraction into the dispatch batch,
+          including the Shuffle tie-break sort (wheel scheduler only). *)
 
 val count : int
 (** Number of spans; [index] is a bijection onto [0..count-1]. *)

@@ -1,45 +1,58 @@
 type tiebreak = Fifo | Shuffle of int
+type sched = Heap | Wheel
 
-type state = Queued | Cancelled | Done
+(* Events live in the flat structure-of-arrays pool owned by [Wheel];
+   handles pack (generation, slot) into one immediate int. Scheduling,
+   cancelling and dispatching shuffle integers between the pool, the
+   scheduler structure and the batch array — zero words allocated in
+   steady state (closures aside, which the caller allocates anyway). *)
+type handle = int
 
-type event = {
-  time : int;
-  seq : int;
-  tie : int;
-  fn : unit -> unit;
-  daemon : bool;
-  mutable state : state;
-  owner : t;
-}
+type queue = Qheap of int Heap.t | Qwheel of Wheel.t
 
-and t = {
+type t = {
+  pool : Wheel.pool;
   mutable now : int;
   mutable next_seq : int;
   mutable running : bool;
   mutable stop_requested : bool;
   mutable executed : int;
-  mutable busy : int; (* queued non-daemon events *)
+  mutable busy : int; (* queued non-daemon live events *)
   mutable waiters : int; (* suspended processes (condition waits) *)
-  mutable cancelled_pending : int; (* tombstones still in the queue *)
+  mutable live : int; (* queued live events, incl. active-batch remainder *)
+  mutable cancelled : int; (* tombstones still queued *)
   mutable compactions : int;
   tiebreak : tiebreak;
-  queue : event Heap.t;
+  queue : queue;
   rng : Rng.t;
   mutable prof : Prof.t;
   mutable observer : (time:int -> unit) option;
+  (* Wheel dispatch batch: the same-instant event list currently being
+     executed, as slot indices. [batch_pos < batch_len] means active;
+     entries before [batch_pos] are already dispatched (stale). *)
+  mutable batch : int array;
+  mutable scratch : int array; (* merge-sort spare, grown with batch *)
+  mutable batch_len : int;
+  mutable batch_pos : int;
+  mutable batch_time : int;
 }
 
-type handle = event
+(* The scheduler used by [create] when [?sched] is omitted. A ref (not
+   a parameter threaded through every call site) so the CLI's [--sched]
+   flag reaches engines built deep inside workload constructors. *)
+let default_sched = ref Wheel
 
-(* The hottest comparison in the simulator: every heap sift goes through
-   here. Monomorphic int tests compile to straight-line machine code;
-   the polymorphic [compare] they replace was a C call per field. *)
-let compare_events a b =
-  if a.time <> b.time then if a.time < b.time then -1 else 1
-  else if a.tie <> b.tie then if a.tie < b.tie then -1 else 1
-  else if a.seq < b.seq then -1
-  else if a.seq > b.seq then 1
-  else 0
+let sched_of_string = function
+  | "heap" -> Some Heap
+  | "wheel" -> Some Wheel
+  | _ -> None
+
+let sched_label = function Heap -> "heap" | Wheel -> "wheel"
+
+(* Test hook: skip the Shuffle batch sort, re-introducing the ordering
+   bug the QCheck equivalence suite and the cross-scheduler fuzz
+   differential must both catch. Never set outside those tests. *)
+let debug_no_batch_sort = ref false
 
 (* splitmix64 finalizer: good avalanche, so (seed, time, seq) triples map to
    effectively independent tie keys. *)
@@ -67,8 +80,16 @@ let tie_for policy ~time ~seq =
       in
       Int64.to_int h land max_int
 
-let create ?(seed = 42) ?(tiebreak = Fifo) () =
+let create ?(seed = 42) ?(tiebreak = Fifo) ?sched () =
+  let sched = match sched with Some s -> s | None -> !default_sched in
+  let pool = Wheel.create_pool () in
+  let queue =
+    match sched with
+    | Heap -> Qheap (Heap.create ~cmp:(Wheel.slot_cmp pool) ())
+    | Wheel -> Qwheel (Wheel.create pool)
+  in
   {
+    pool;
     now = 0;
     next_seq = 0;
     running = false;
@@ -76,21 +97,107 @@ let create ?(seed = 42) ?(tiebreak = Fifo) () =
     executed = 0;
     busy = 0;
     waiters = 0;
-    cancelled_pending = 0;
+    live = 0;
+    cancelled = 0;
     compactions = 0;
     tiebreak;
-    queue = Heap.create ~cmp:compare_events ();
+    queue;
     rng = Rng.create ~seed;
     prof = Prof.null;
     observer = None;
+    batch = [||];
+    scratch = [||];
+    batch_len = 0;
+    batch_pos = 0;
+    batch_time = 0;
   }
 
 let now t = t.now
 let rng t = t.rng
 let tiebreak t = t.tiebreak
+let sched t = match t.queue with Qheap _ -> Heap | Qwheel _ -> Wheel
 let prof t = t.prof
 let set_prof t prof = t.prof <- prof
 let set_observer t obs = t.observer <- obs
+
+let batch_active t = t.batch_pos < t.batch_len
+
+let grow_batch t n =
+  let cap = max n (max 64 (2 * Array.length t.batch)) in
+  let b = Array.make cap 0 in
+  Array.blit t.batch 0 b 0 t.batch_len;
+  t.batch <- b
+
+(* "a dispatches before b" among same-instant events: (tie, seq)
+   ascending. Total because seqs are unique. *)
+let slot_before p a b =
+  let ka = p.Wheel.ties.(a) and kb = p.Wheel.ties.(b) in
+  if ka <> kb then ka < kb else p.Wheel.seqs.(a) < p.Wheel.seqs.(b)
+
+(* Bottom-up merge sort of batch.(0..n-1) by (tie, seq), allocation-free
+   once [scratch] has grown to match the batch array. The extracted
+   bucket list is already seq-sorted, so Fifo batches skip this. *)
+let sort_batch t n =
+  let p = t.pool in
+  if Array.length t.scratch < n then t.scratch <- Array.make (Array.length t.batch) 0;
+  let src = ref t.batch and dst = ref t.scratch in
+  let width = ref 1 in
+  while !width < n do
+    let i = ref 0 in
+    while !i < n do
+      let lo = !i in
+      let mid = min (lo + !width) n in
+      let hi = min (lo + (2 * !width)) n in
+      let a = ref lo and b = ref mid and k = ref lo in
+      while !a < mid && !b < hi do
+        if slot_before p !src.(!a) !src.(!b) then begin
+          !dst.(!k) <- !src.(!a);
+          incr a
+        end
+        else begin
+          !dst.(!k) <- !src.(!b);
+          incr b
+        end;
+        incr k
+      done;
+      while !a < mid do
+        !dst.(!k) <- !src.(!a);
+        incr a;
+        incr k
+      done;
+      while !b < hi do
+        !dst.(!k) <- !src.(!b);
+        incr b;
+        incr k
+      done;
+      i := hi
+    done;
+    let tmp = !src in
+    src := !dst;
+    dst := tmp;
+    width := 2 * !width
+  done;
+  if !src != t.batch then Array.blit !src 0 t.batch 0 n
+
+(* A schedule landing on the instant currently being dispatched must
+   join the active batch exactly where the heap would have popped it:
+   after every already-run event, ordered by (tie, seq) among the rest.
+   Under Fifo the new event has the highest seq, so that is the end;
+   under Shuffle its random tie key places it anywhere in the
+   undispatched suffix — binary search + shift. *)
+let batch_insert t s =
+  if t.batch_len >= Array.length t.batch then grow_batch t (t.batch_len + 1);
+  (match t.tiebreak with
+  | Shuffle _ when not !debug_no_batch_sort ->
+      let lo = ref t.batch_pos and hi = ref t.batch_len in
+      while !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        if slot_before t.pool t.batch.(mid) s then lo := mid + 1 else hi := mid
+      done;
+      Array.blit t.batch !lo t.batch (!lo + 1) (t.batch_len - !lo);
+      t.batch.(!lo) <- s
+  | _ -> t.batch.(t.batch_len) <- s);
+  t.batch_len <- t.batch_len + 1
 
 let schedule_at ?(daemon = false) t ~time fn =
   if time < t.now then
@@ -98,15 +205,26 @@ let schedule_at ?(daemon = false) t ~time fn =
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
          time t.now);
   Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_schedule;
-  let tie = tie_for t.tiebreak ~time ~seq:t.next_seq in
-  let ev =
-    { time; seq = t.next_seq; tie; fn; daemon; state = Queued; owner = t }
-  in
-  t.next_seq <- t.next_seq + 1;
+  let p = t.pool in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let s = Wheel.alloc_slot p in
+  p.Wheel.times.(s) <- time;
+  p.Wheel.ties.(s) <- tie_for t.tiebreak ~time ~seq;
+  p.Wheel.seqs.(s) <- seq;
+  p.Wheel.flags.(s) <-
+    (if daemon then Wheel.flag_live lor Wheel.flag_daemon else Wheel.flag_live);
+  p.Wheel.fns.(s) <- fn;
   if not daemon then t.busy <- t.busy + 1;
-  Heap.push t.queue ev;
+  t.live <- t.live + 1;
+  let h = (p.Wheel.gens.(s) lsl Wheel.slot_bits) lor s in
+  (match t.queue with
+  | Qheap heap -> Heap.push heap s
+  | Qwheel w ->
+      if batch_active t && time = t.batch_time then batch_insert t s
+      else Wheel.add w s);
   Prof.exit t.prof Prof.Span.Engine_schedule;
-  ev
+  h
 
 let schedule ?daemon t ~after fn =
   if after < 0 then invalid_arg "Engine.schedule: negative delay";
@@ -116,81 +234,235 @@ let incr_waiters t = t.waiters <- t.waiters + 1
 let decr_waiters t = t.waiters <- t.waiters - 1
 let busy t = t.busy + t.waiters
 
-(* A cancelled event stops counting as live work immediately; its record
-   stays in the heap as a tombstone (cancel is O(1), a heap delete is
-   not). When tombstones outnumber live events the queue is compacted in
-   one O(n) pass, so cancel-heavy fault plans cannot grow it without
-   bound. *)
+(* A cancelled event stops counting as live work immediately; its slot
+   stays queued as a tombstone (cancel is O(1), a targeted delete from
+   either scheduler is not). When tombstones outnumber live events the
+   queue is compacted in one O(n) pass, so cancel-heavy fault plans
+   cannot grow it without bound. *)
 let compact t =
-  Heap.filter_in_place (fun ev -> ev.state = Queued) t.queue;
-  t.cancelled_pending <- 0;
+  let p = t.pool in
+  let keep s = p.Wheel.flags.(s) land Wheel.flag_live <> 0 in
+  (match t.queue with
+  | Qheap heap ->
+      (* Collect before freeing: a freed slot could be re-allocated into
+         this same heap while the sweep is still walking it. *)
+      let dead = ref [] in
+      Heap.iter (fun s -> if not (keep s) then dead := s :: !dead) heap;
+      if !dead <> [] then begin
+        Heap.filter_in_place keep heap;
+        List.iter (Wheel.free_slot p) !dead
+      end
+  | Qwheel w ->
+      Wheel.purge w ~keep ~drop:(Wheel.free_slot p);
+      (* The undispatched suffix of the active batch holds tombstones
+         the wheel no longer knows about. *)
+      let j = ref t.batch_pos in
+      for i = t.batch_pos to t.batch_len - 1 do
+        let s = t.batch.(i) in
+        if keep s then begin
+          t.batch.(!j) <- s;
+          incr j
+        end
+        else Wheel.free_slot p s
+      done;
+      t.batch_len <- !j);
+  t.cancelled <- 0;
   t.compactions <- t.compactions + 1
 
-let cancel ev =
-  if ev.state = Queued then begin
-    let t = ev.owner in
-    ev.state <- Cancelled;
-    if not ev.daemon then t.busy <- t.busy - 1;
-    t.cancelled_pending <- t.cancelled_pending + 1;
-    if
-      t.cancelled_pending >= 32
-      && 2 * t.cancelled_pending > Heap.length t.queue
-    then compact t
+let cancel t h =
+  let s = h land Wheel.slot_mask in
+  let gen = h lsr Wheel.slot_bits in
+  let p = t.pool in
+  if
+    s < p.Wheel.cap
+    && p.Wheel.gens.(s) = gen
+    && p.Wheel.flags.(s) land Wheel.flag_live <> 0
+  then begin
+    if p.Wheel.flags.(s) land Wheel.flag_daemon = 0 then t.busy <- t.busy - 1;
+    p.Wheel.flags.(s) <- p.Wheel.flags.(s) land lnot Wheel.flag_live;
+    t.live <- t.live - 1;
+    t.cancelled <- t.cancelled + 1;
+    if t.cancelled >= 32 && 2 * t.cancelled > t.live + t.cancelled then
+      compact t
   end
 
 let stop t = t.stop_requested <- true
 let stopped t = t.stop_requested
-
-let pending t = Heap.length t.queue - t.cancelled_pending
+let pending t = t.live
 let executed t = t.executed
 let compactions t = t.compactions
 
-let exec t ev =
-  t.now <- ev.time;
-  match ev.state with
-  | Cancelled -> t.cancelled_pending <- t.cancelled_pending - 1
-  | Done -> assert false
-  | Queued ->
-      ev.state <- Done;
-      if not ev.daemon then t.busy <- t.busy - 1;
-      t.executed <- t.executed + 1;
-      Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_dispatch;
-      ev.fn ();
-      Prof.exit t.prof Prof.Span.Engine_dispatch;
-      (* Observation only, after the event ran: the observer consumes no
-         seq numbers and schedules nothing, so a run with one installed is
-         event-for-event identical to a run without. *)
-      (match t.observer with None -> () | Some f -> f ~time:ev.time)
+let wheel_occupancy t =
+  match t.queue with
+  | Qwheel w -> Wheel.occupancy w
+  | Qheap heap -> Heap.length heap
 
-let pop_profiled t =
-  Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_heap_pop;
-  let ev = Heap.pop_exn t.queue in
-  Prof.exit t.prof Prof.Span.Engine_heap_pop;
-  ev
+let cascades t = match t.queue with Qwheel w -> Wheel.cascades w | Qheap _ -> 0
+let spills t = match t.queue with Qwheel w -> Wheel.spills w | Qheap _ -> 0
 
-let step t =
-  if t.stop_requested || Heap.is_empty t.queue then false
+let exec_slot t s =
+  let p = t.pool in
+  let time = p.Wheel.times.(s) in
+  let daemon = p.Wheel.flags.(s) land Wheel.flag_daemon <> 0 in
+  let fn = p.Wheel.fns.(s) in
+  (* Free before running: the handler often re-schedules (ticks,
+     reschedule loops) and can then recycle this very slot. The bumped
+     generation makes a late [cancel] on our handle a stale no-op. *)
+  Wheel.free_slot p s;
+  t.now <- time;
+  if not daemon then t.busy <- t.busy - 1;
+  t.live <- t.live - 1;
+  t.executed <- t.executed + 1;
+  Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_dispatch;
+  fn ();
+  Prof.exit t.prof Prof.Span.Engine_dispatch;
+  (* Observation only, after the event ran: the observer consumes no
+     seq numbers and schedules nothing, so a run with one installed is
+     event-for-event identical to a run without. *)
+  match t.observer with None -> () | Some f -> f ~time
+
+let free_tombstone t s =
+  t.cancelled <- t.cancelled - 1;
+  Wheel.free_slot t.pool s
+
+(* Extract the next same-instant bucket into the batch array, dropping
+   tombstones and applying the Shuffle tie-break sort. Returns false
+   when nothing is pending at or before [horizon]. A false return
+   leaves the queue untouched: the horizon peek happens before any
+   extraction, so a bucket is never half-dispatched across [run]
+   boundaries with different horizons. *)
+let load_batch t w ~horizon =
+  Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_wheel_advance;
+  let tnext = Wheel.peek_time w in
+  Prof.exit t.prof Prof.Span.Engine_wheel_advance;
+  (* [tnext = max_int] is the empty queue; the explicit test matters
+     when [horizon] is itself max_int. *)
+  if tnext = max_int || tnext > horizon then false
   else begin
-    exec t (pop_profiled t);
+    Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_bucket_drain;
+    let p = t.pool in
+    t.batch_pos <- 0;
+    t.batch_len <- 0;
+    t.batch_time <- tnext;
+    let cur = ref (Wheel.pop_bucket w) in
+    while !cur >= 0 do
+      let nx = p.Wheel.nexts.(!cur) in
+      if p.Wheel.flags.(!cur) land Wheel.flag_live <> 0 then begin
+        if t.batch_len >= Array.length t.batch then grow_batch t (t.batch_len + 1);
+        t.batch.(t.batch_len) <- !cur;
+        t.batch_len <- t.batch_len + 1
+      end
+      else free_tombstone t !cur;
+      cur := nx
+    done;
+    (match t.tiebreak with
+    | Shuffle _ when t.batch_len > 1 && not !debug_no_batch_sort ->
+        sort_batch t t.batch_len
+    | _ -> ());
+    Prof.exit t.prof Prof.Span.Engine_bucket_drain;
     true
   end
+
+(* Dispatch loop, wheel flavour. [quiet] is the run_until_quiet
+   condition: stop once no non-daemon work remains. The batch left by a
+   prior [step]/[stop] resumes first; its instant may postdate a
+   shorter new horizon, in which case it stays queued untouched. *)
+let wheel_run t w ~horizon ~quiet =
+  let running = ref true in
+  while !running do
+    if t.stop_requested || (quiet && t.busy + t.waiters = 0) then
+      running := false
+    else if batch_active t then begin
+      if t.batch_time > horizon then running := false
+      else begin
+        let s = t.batch.(t.batch_pos) in
+        t.batch_pos <- t.batch_pos + 1;
+        if t.pool.Wheel.flags.(s) land Wheel.flag_live <> 0 then exec_slot t s
+        else free_tombstone t s
+      end
+    end
+    else if not (load_batch t w ~horizon) then running := false
+  done
+
+let heap_pop_profiled t heap =
+  Prof.enter t.prof ~cpu:(-1) Prof.Span.Engine_heap_pop;
+  let s = Heap.pop_exn heap in
+  Prof.exit t.prof Prof.Span.Engine_heap_pop;
+  s
+
+let heap_run t heap ~horizon ~quiet =
+  let running = ref true in
+  while !running do
+    if
+      t.stop_requested
+      || (quiet && t.busy + t.waiters = 0)
+      || Heap.is_empty heap
+    then running := false
+    else if t.pool.Wheel.times.(Heap.peek_exn heap) > horizon then
+      running := false
+    else begin
+      let s = heap_pop_profiled t heap in
+      if t.pool.Wheel.flags.(s) land Wheel.flag_live <> 0 then exec_slot t s
+      else free_tombstone t s
+    end
+  done
 
 let run ?until t =
   t.running <- true;
   let horizon = match until with None -> max_int | Some u -> u in
-  let rec loop () =
-    if t.stop_requested || Heap.is_empty t.queue then ()
-    else if (Heap.peek_exn t.queue).time > horizon then ()
-    else begin
-      exec t (pop_profiled t);
-      loop ()
-    end
-  in
-  loop ();
+  (match t.queue with
+  | Qheap heap -> heap_run t heap ~horizon ~quiet:false
+  | Qwheel w -> wheel_run t w ~horizon ~quiet:false);
   t.running <- false;
   match until with
   | Some u when (not t.stop_requested) && u > t.now -> t.now <- u
   | _ -> ()
+
+let run_until_quiet ?(horizon = max_int) t =
+  match t.queue with
+  | Qheap heap -> heap_run t heap ~horizon ~quiet:true
+  | Qwheel w -> wheel_run t w ~horizon ~quiet:true
+
+(* Execute the single next live event, silently reaping any tombstones
+   queued ahead of it. *)
+let step t =
+  if t.stop_requested then false
+  else
+    match t.queue with
+    | Qheap heap ->
+        let rec go () =
+          if Heap.is_empty heap then false
+          else begin
+            let s = heap_pop_profiled t heap in
+            if t.pool.Wheel.flags.(s) land Wheel.flag_live <> 0 then begin
+              exec_slot t s;
+              true
+            end
+            else begin
+              free_tombstone t s;
+              go ()
+            end
+          end
+        in
+        go ()
+    | Qwheel w ->
+        let rec go () =
+          if batch_active t then begin
+            let s = t.batch.(t.batch_pos) in
+            t.batch_pos <- t.batch_pos + 1;
+            if t.pool.Wheel.flags.(s) land Wheel.flag_live <> 0 then begin
+              exec_slot t s;
+              true
+            end
+            else begin
+              free_tombstone t s;
+              go ()
+            end
+          end
+          else if load_batch t w ~horizon:max_int then go ()
+          else false
+        in
+        go ()
 
 let every t ~period ?phase fn =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
@@ -200,15 +472,3 @@ let every t ~period ?phase fn =
       ignore (schedule ~daemon:true t ~after:period tick)
   in
   ignore (schedule ~daemon:true t ~after:first tick)
-
-let run_until_quiet ?(horizon = max_int) t =
-  let rec loop () =
-    if t.stop_requested || t.busy + t.waiters = 0 || Heap.is_empty t.queue
-    then ()
-    else if (Heap.peek_exn t.queue).time > horizon then ()
-    else begin
-      exec t (pop_profiled t);
-      loop ()
-    end
-  in
-  loop ()

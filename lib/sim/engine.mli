@@ -1,19 +1,29 @@
 (** Virtual-time discrete-event engine.
 
     The engine owns a monotonically increasing virtual clock (nanoseconds)
-    and a priority queue of events. Events scheduled for the same instant run
+    and a pending-event scheduler. Events scheduled for the same instant run
     in scheduling order (FIFO), which makes every simulation deterministic
     for a given seed.
+
+    Two scheduler implementations dispatch the exact same event order:
+
+    - {!Wheel} (default): a hierarchical timer wheel (Varghese-Lauck)
+      over flat structure-of-arrays event slots — O(1) schedule, batched
+      same-instant dispatch, zero allocation in steady state.
+    - {!Heap}: the original 4-ary binary-comparison heap, kept for
+      differential testing ([--sched=heap]).
 
     The engine is single-threaded on purpose: the reproduction models a
     64-CPU machine with virtual time rather than real parallelism, which is
     both deterministic and unaffected by OCaml runtime characteristics. *)
 
 type t
-(** An engine: clock + event queue + root RNG. *)
+(** An engine: clock + event scheduler + root RNG. *)
 
 type handle
-(** Cancellation handle for a scheduled event. *)
+(** Cancellation handle for a scheduled event. Generation-tagged: a
+    handle to an event that already ran (or was cancelled and its slot
+    reused) is stale, and cancelling it is a no-op. *)
 
 type tiebreak =
   | Fifo  (** Same-instant events run in scheduling order (default). *)
@@ -26,12 +36,30 @@ type tiebreak =
           different seeds explore different serializations of logically
           concurrent events. *)
 
-val create : ?seed:int -> ?tiebreak:tiebreak -> unit -> t
+type sched =
+  | Heap  (** Original 4-ary heap scheduler. *)
+  | Wheel  (** Hierarchical timer wheel (default). *)
+
+val default_sched : sched ref
+(** Scheduler used by {!create} when [?sched] is omitted. [Wheel]
+    unless overridden (the CLI's [--sched] flag sets this before any
+    engine is built). *)
+
+val sched_of_string : string -> sched option
+(** ["heap"] / ["wheel"]. *)
+
+val sched_label : sched -> string
+
+val create : ?seed:int -> ?tiebreak:tiebreak -> ?sched:sched -> unit -> t
 (** [create ~seed ()] makes a fresh engine at time 0. Default seed 42,
-    default tie-break {!Fifo} (the historical, byte-identical order). *)
+    default tie-break {!Fifo} (the historical, byte-identical order),
+    default scheduler [!default_sched]. *)
 
 val tiebreak : t -> tiebreak
 (** The engine's same-instant tie-break policy. *)
+
+val sched : t -> sched
+(** The scheduler this engine was built with. *)
 
 val now : t -> int
 (** Current virtual time in nanoseconds. *)
@@ -45,8 +73,9 @@ val prof : t -> Prof.t
 
 val set_prof : t -> Prof.t -> unit
 (** Install a profiler. The engine opens [engine.dispatch] /
-    [engine.schedule] / [engine.heap_pop] spans around event execution,
-    scheduling, and heap pops. *)
+    [engine.schedule] spans around event execution and scheduling, plus
+    [engine.wheel_advance] / [engine.bucket_drain] (wheel) or
+    [engine.heap_pop] (heap) around event extraction. *)
 
 val set_observer : t -> (time:int -> unit) option -> unit
 (** Install (or clear) a per-executed-event observer, called with the
@@ -64,13 +93,14 @@ val schedule : ?daemon:bool -> t -> after:int -> (unit -> unit) -> handle
 val schedule_at : ?daemon:bool -> t -> time:int -> (unit -> unit) -> handle
 (** [schedule_at t ~time fn] runs [fn] at absolute [time] (>= [now t]). *)
 
-val cancel : handle -> unit
-(** [cancel h] prevents the event from running if it has not run yet. The
-    event immediately stops counting towards {!busy} and {!pending}; its
-    record stays in the queue as a tombstone until its deadline pops it
-    or a compaction sweep drops it (the queue compacts in one O(n) pass
+val cancel : t -> handle -> unit
+(** [cancel t h] prevents the event from running if it has not run yet.
+    The event immediately stops counting towards {!busy} and {!pending};
+    its slot stays queued as a tombstone until its deadline reaps it or
+    a compaction sweep drops it (the queue compacts in one O(n) pass
     whenever tombstones outnumber live events, so cancel-heavy fault
-    plans cannot grow it without bound). *)
+    plans cannot grow it without bound). Stale handles — the event
+    already ran, or was already cancelled — are ignored. *)
 
 val run : ?until:int -> t -> unit
 (** [run ?until t] executes events in time order. Stops when the queue is
@@ -79,8 +109,8 @@ val run : ?until:int -> t -> unit
     (unless stopped earlier). *)
 
 val step : t -> bool
-(** [step t] executes the single next event; [false] if the queue was empty
-    or the engine is stopped. *)
+(** [step t] executes the single next live event; [false] if no live
+    event remained or the engine is stopped. *)
 
 val stop : t -> unit
 (** Halt the run loop after the current event; used e.g. on simulated OOM. *)
@@ -89,14 +119,26 @@ val stopped : t -> bool
 (** Whether [stop] has been called. *)
 
 val pending : t -> int
-(** Number of queued live events. Cancelled handles may stay in the queue
-    until their scheduled time but are not counted. O(1). *)
+(** Number of queued live events (O(1) counter). Cancelled handles may
+    stay queued until their scheduled time but are not counted. *)
 
 val executed : t -> int
 (** Total number of events executed so far (diagnostic). *)
 
 val compactions : t -> int
 (** Number of tombstone-compaction sweeps performed (diagnostic). *)
+
+val wheel_occupancy : t -> int
+(** Events currently held by the scheduler structure (wheel buckets +
+    overflow + front heap, or heap length including tombstones).
+    Diagnostic gauge; excludes the active dispatch batch. *)
+
+val cascades : t -> int
+(** Timer-wheel buckets cascaded down a level so far (0 under heap). *)
+
+val spills : t -> int
+(** Events that landed in the out-of-horizon overflow heap (0 under
+    heap). *)
 
 val run_until_quiet : ?horizon:int -> t -> unit
 (** Run while there is live work: non-daemon events queued or processes
@@ -117,3 +159,9 @@ val every : t -> period:int -> ?phase:int -> (unit -> bool) -> unit
 (** [every t ~period ?phase fn] first runs [fn] at [now + phase] (default
     [period]) and then every [period] ns for as long as [fn] returns [true]
     and the engine is not stopped. *)
+
+val debug_no_batch_sort : bool ref
+(** Test-only fault injection: when true, the wheel skips the Shuffle
+    same-instant batch sort, deliberately breaking tie-break order. The
+    QCheck equivalence suite and the cross-scheduler fuzz differential
+    use this to prove they detect ordering bugs. Never set elsewhere. *)

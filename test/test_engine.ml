@@ -40,7 +40,7 @@ let test_cancel () =
   let eng = Sim.Engine.create () in
   let ran = ref false in
   let h = Sim.Engine.schedule eng ~after:10 (fun () -> ran := true) in
-  Sim.Engine.cancel h;
+  Sim.Engine.cancel eng h;
   Sim.Engine.run eng;
   Alcotest.(check bool) "cancelled event skipped" false !ran
 
@@ -119,7 +119,7 @@ let test_pending_excludes_cancelled () =
   ignore (Sim.Engine.schedule eng ~after:20 ignore);
   ignore (Sim.Engine.schedule eng ~after:30 ignore);
   Alcotest.(check int) "three pending" 3 (Sim.Engine.pending eng);
-  Sim.Engine.cancel h1;
+  Sim.Engine.cancel eng h1;
   Alcotest.(check int) "cancelled one excluded" 2 (Sim.Engine.pending eng);
   Sim.Engine.run eng;
   Alcotest.(check int) "drained" 0 (Sim.Engine.pending eng);

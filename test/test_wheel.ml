@@ -1,0 +1,251 @@
+(* Timer-wheel scheduler tests: the QCheck model proving wheel and heap
+   are observationally equivalent, plus targeted unit tests for the
+   wheel's horizon machinery (cascade boundaries, overflow spills, the
+   below-cursor front heap) that random programs rarely hit squarely. *)
+
+module E = Sim.Engine
+
+(* ---------------- random-program equivalence model ----------------
+
+   A program is a sequence of scheduler operations interpreted
+   identically against a heap engine and a wheel engine. Every executed
+   event appends (virtual time, event id) to a log; the two logs (plus
+   executed counts and final clocks) must match exactly. Ids are handed
+   out in execution order for nested events, so any dispatch-order
+   divergence shows up as differing logs even when the time streams
+   agree. *)
+
+type op =
+  | Sched of int  (* schedule at now + delay, log on fire *)
+  | Sched_nested of int * int
+      (* schedule at now + d1 an event that schedules a child at + d2
+         when it fires; d2 = 0 exercises mid-batch insertion *)
+  | Cancel of int  (* cancel the k-th handle created so far (mod count) *)
+  | Run_until of int  (* run ~until:(now + u) *)
+  | Step  (* single-step once *)
+
+let run_program ~sched ~tiebreak ops =
+  let eng = E.create ~sched ~tiebreak () in
+  let log = ref [] in
+  let next_id = ref 0 in
+  let handles = ref [||] in
+  let n_handles = ref 0 in
+  let remember h =
+    if !n_handles = Array.length !handles then begin
+      let a = Array.make (max 16 (2 * !n_handles)) h in
+      Array.blit !handles 0 a 0 !n_handles;
+      handles := a
+    end;
+    !handles.(!n_handles) <- h;
+    incr n_handles
+  in
+  let fire id () = log := (E.now eng, id) :: !log in
+  let sched_logged ~after k =
+    let id = !next_id in
+    incr next_id;
+    remember (E.schedule eng ~after (fun () -> fire id (); k ()))
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Sched d -> sched_logged ~after:d (fun () -> ())
+      | Sched_nested (d1, d2) ->
+          sched_logged ~after:d1 (fun () ->
+              (* child id assigned at fire time: equal streams imply
+                 equal dispatch order, not just equal times *)
+              sched_logged ~after:d2 (fun () -> ()))
+      | Cancel k ->
+          if !n_handles > 0 then E.cancel eng !handles.(k mod !n_handles)
+      | Run_until u -> E.run ~until:(E.now eng + u) eng
+      | Step -> ignore (E.step eng))
+    ops;
+  E.run eng;
+  (List.rev !log, E.executed eng, E.now eng, E.pending eng)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* dense near-term work: same-instant batches via repeated deltas *)
+        (6, map (fun d -> Sched d) (oneofl [ 0; 1; 7; 64; 64; 1_000; 20_000 ]));
+        (3, map (fun d -> Sched d) (int_bound 200_000));
+        (* nested, often same-instant (d2 = 0 hits batch insertion) *)
+        ( 3,
+          map2
+            (fun d1 d2 -> Sched_nested (d1, d2))
+            (int_bound 70_000)
+            (oneofl [ 0; 0; 1; 70_000 ]) );
+        (* level-1/2 cascade crossings and out-of-horizon spills *)
+        ( 2,
+          map (fun d -> Sched d)
+            (oneofl
+               [
+                 (1 lsl 16) - 1;
+                 1 lsl 16;
+                 (1 lsl 16) + 1;
+                 (1 lsl 17) + 13;
+                 1 lsl 32;
+                 (1 lsl 32) + 3;
+                 (1 lsl 48) + 5;
+               ]) );
+        (2, map (fun k -> Cancel k) (int_bound 1000));
+        (2, map (fun u -> Run_until u) (oneofl [ 0; 1; 999; 65_535; 65_536 ]));
+        (1, return Step);
+      ])
+
+let program_gen = QCheck.Gen.(list_size (1 -- 40) op_gen)
+
+let program_arb =
+  (* No shrinker beyond QCheck's structural list shrinking; ops print
+     via Stdlib-ish constructors for failure triage. *)
+  QCheck.make program_gen
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | Sched d -> Printf.sprintf "S%d" d
+             | Sched_nested (a, b) -> Printf.sprintf "N(%d,%d)" a b
+             | Cancel k -> Printf.sprintf "C%d" k
+             | Run_until u -> Printf.sprintf "R%d" u
+             | Step -> "T")
+           ops))
+
+let equivalent ~tiebreak ops =
+  run_program ~sched:E.Heap ~tiebreak ops
+  = run_program ~sched:E.Wheel ~tiebreak ops
+
+let prop_equiv_fifo =
+  QCheck.Test.make ~name:"wheel = heap: (time, id) streams (Fifo)" ~count:300
+    program_arb (equivalent ~tiebreak:E.Fifo)
+
+let prop_equiv_shuffle =
+  QCheck.Test.make ~name:"wheel = heap: (time, id) streams (Shuffle)"
+    ~count:300 program_arb
+    (fun ops ->
+      equivalent ~tiebreak:(E.Shuffle 7) ops
+      && equivalent ~tiebreak:(E.Shuffle 12345) ops)
+
+(* The model must have teeth: re-introduce the ordering bug the batch
+   sort prevents (Shuffle batches dispatched in seq order) and require
+   the equivalence check to catch it on a trivially small program. *)
+let test_detects_injected_ordering_bug () =
+  let ops = List.init 12 (fun _ -> Sched 50) in
+  Fun.protect
+    ~finally:(fun () -> E.debug_no_batch_sort := false)
+    (fun () ->
+      E.debug_no_batch_sort := true;
+      Alcotest.(check bool)
+        "equivalence check catches the unsorted-batch bug" false
+        (equivalent ~tiebreak:(E.Shuffle 1) ops);
+      (* Fifo batches are seq-ordered either way: the hook must leave
+         them untouched, or the bug injection itself would be unsound. *)
+      Alcotest.(check bool)
+        "Fifo unaffected by the injected bug" true
+        (equivalent ~tiebreak:E.Fifo ops))
+
+(* ---------------- wheel-horizon unit tests ---------------- *)
+
+let test_cascade_boundaries () =
+  let eng = E.create ~sched:E.Wheel () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  (* One event per wheel level plus an out-of-horizon spill. *)
+  ignore (E.schedule eng ~after:3 (note "near"));
+  ignore (E.schedule eng ~after:(1 lsl 16) (note "l1"));
+  ignore (E.schedule eng ~after:(1 lsl 32) (note "l2"));
+  ignore (E.schedule eng ~after:((1 lsl 48) + 9) (note "overflow"));
+  Alcotest.(check int) "spill counted" 1 (E.spills eng);
+  E.run eng;
+  Alcotest.(check (list string))
+    "levels dispatch in time order"
+    [ "near"; "l1"; "l2"; "overflow" ]
+    (List.rev !log);
+  Alcotest.(check bool) "cascades happened" true (E.cascades eng > 0);
+  Alcotest.(check int) "clock at overflow event" ((1 lsl 48) + 9) (E.now eng)
+
+let test_same_instant_across_cascade () =
+  (* Events scheduled from different times at the same far instant must
+     still dispatch FIFO after cascading down. *)
+  let eng = E.create ~sched:E.Wheel () in
+  let target = (1 lsl 17) + 42 in
+  let log = ref [] in
+  ignore (E.schedule_at eng ~time:target (fun () -> log := 0 :: !log));
+  ignore
+    (E.schedule eng ~after:5 (fun () ->
+         ignore (E.schedule_at eng ~time:target (fun () -> log := 1 :: !log))));
+  ignore (E.schedule_at eng ~time:target (fun () -> log := 2 :: !log));
+  E.run eng;
+  Alcotest.(check (list int))
+    "seq order preserved through cascade" [ 0; 2; 1 ] (List.rev !log)
+
+let test_front_heap_after_horizon_peek () =
+  (* run ~until peeks past the pending event, advancing the wheel
+     cursor beyond the horizon; scheduling into that gap must still
+     dispatch in time order (via the front heap). *)
+  let eng = E.create ~sched:E.Wheel () in
+  let log = ref [] in
+  ignore (E.schedule eng ~after:1_000 (fun () -> log := "far" :: !log));
+  E.run ~until:500 eng;
+  Alcotest.(check int) "clock at horizon" 500 (E.now eng);
+  ignore (E.schedule eng ~after:100 (fun () -> log := "front" :: !log));
+  ignore (E.schedule eng ~after:100 (fun () -> log := "front2" :: !log));
+  E.run eng;
+  Alcotest.(check (list string))
+    "front events run first, in order"
+    [ "front"; "front2"; "far" ]
+    (List.rev !log)
+
+let test_cancel_compaction_wheel () =
+  let eng = E.create ~sched:E.Wheel () in
+  let ran = ref 0 in
+  let handles =
+    List.init 100 (fun i ->
+        E.schedule eng ~after:(10 + (i mod 7)) (fun () -> incr ran))
+  in
+  List.iteri (fun i h -> if i mod 10 <> 0 then E.cancel eng h) handles;
+  Alcotest.(check int) "pending excludes tombstones" 10 (E.pending eng);
+  Alcotest.(check bool) "compaction swept" true (E.compactions eng > 0);
+  E.run eng;
+  Alcotest.(check int) "survivors ran" 10 !ran;
+  Alcotest.(check int) "none left" 0 (E.pending eng)
+
+let test_stale_handle_ignored () =
+  let eng = E.create ~sched:E.Wheel () in
+  let ran = ref 0 in
+  let h = E.schedule eng ~after:5 (fun () -> incr ran) in
+  E.run eng;
+  (* The event ran; its slot may have been recycled. Cancelling the
+     stale handle must be a no-op on whatever lives there now. *)
+  ignore (E.schedule eng ~after:5 (fun () -> incr ran));
+  E.cancel eng h;
+  E.cancel eng h;
+  E.run eng;
+  Alcotest.(check int) "both events ran" 2 !ran
+
+let test_daemon_quiet_wheel () =
+  let eng = E.create ~sched:E.Wheel () in
+  let ticks = ref 0 in
+  E.every eng ~period:100 (fun () -> incr ticks; true);
+  ignore (E.schedule eng ~after:450 ignore);
+  E.run_until_quiet eng;
+  Alcotest.(check int) "stopped once only daemons remain" 450 (E.now eng);
+  Alcotest.(check int) "daemon ticks up to the last live event" 4 !ticks
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_equiv_fifo;
+    QCheck_alcotest.to_alcotest prop_equiv_shuffle;
+    Alcotest.test_case "model detects injected ordering bug" `Quick
+      test_detects_injected_ordering_bug;
+    Alcotest.test_case "cascade and overflow boundaries" `Quick
+      test_cascade_boundaries;
+    Alcotest.test_case "same instant across cascade" `Quick
+      test_same_instant_across_cascade;
+    Alcotest.test_case "front heap after horizon peek" `Quick
+      test_front_heap_after_horizon_peek;
+    Alcotest.test_case "cancel-heavy compaction" `Quick
+      test_cancel_compaction_wheel;
+    Alcotest.test_case "stale handles ignored" `Quick test_stale_handle_ignored;
+    Alcotest.test_case "run_until_quiet with daemons" `Quick
+      test_daemon_quiet_wheel;
+  ]
